@@ -1,0 +1,67 @@
+// Command npbsim runs one synthetic NAS Parallel Benchmark on the
+// full-system simulator (the gem5 role of the tool chain) and prints
+// its timing and activity summary.
+//
+// Usage:
+//
+//	npbsim [-bench cg] [-chips 6] [-ghz 2.0] [-scale 1.0] [-seed 1]
+//	npbsim -bench all -chips 6 -ghz 2.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waterimm/internal/fullsys"
+	"waterimm/internal/npb"
+	"waterimm/internal/report"
+)
+
+var (
+	flagBench = flag.String("bench", "all", "benchmark name (bt cg ep ft is lu mg sp ua) or 'all'")
+	flagChips = flag.Int("chips", 6, "stack depth (threads = 4 x chips)")
+	flagGHz   = flag.Float64("ghz", 2.0, "core frequency in GHz")
+	flagScale = flag.Float64("scale", 1.0, "workload scale (1.0 = full class)")
+	flagSeed  = flag.Int64("seed", 1, "workload seed")
+)
+
+func main() {
+	flag.Parse()
+	var benches []npb.Benchmark
+	if *flagBench == "all" {
+		benches = npb.Benchmarks()
+	} else {
+		b, err := npb.ByName(*flagBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npbsim:", err)
+			os.Exit(1)
+		}
+		benches = []npb.Benchmark{b}
+	}
+	headers := []string{"bench", "threads", "ms", "stall", "L1 miss", "L2 acc", "DRAM", "flit-hops", "avg pkt lat ns"}
+	var rows [][]string
+	for _, b := range benches {
+		res, err := fullsys.Run(fullsys.Config{
+			Chips: *flagChips, FHz: *flagGHz * 1e9, Benchmark: b,
+			Scale: *flagScale, Seed: *flagSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npbsim:", err)
+			os.Exit(1)
+		}
+		missRate := float64(res.L1Misses) / float64(res.L1Hits+res.L1Misses)
+		rows = append(rows, []string{
+			b.Name,
+			fmt.Sprint(res.Threads),
+			report.F(res.Seconds*1e3, 3),
+			report.F(res.StallFraction, 2),
+			report.F(missRate, 3),
+			fmt.Sprint(res.Activity.L2Accesses),
+			fmt.Sprint(res.Activity.DRAMAccesses),
+			fmt.Sprint(res.Activity.NoCFlitHops),
+			report.F(res.NoC.AvgLatency().Seconds()*1e9, 1),
+		})
+	}
+	report.Table(os.Stdout, headers, rows)
+}

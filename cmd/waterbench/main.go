@@ -1,0 +1,318 @@
+// Command waterbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	waterbench -exp all
+//	waterbench -exp table1,fig4,fig7 [-scale 0.4] [-csv]
+//
+// Experiment ids: table1, table2, fig1, fig4, fig6, fig7, fig8, fig9,
+// fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18,
+// testboard, pue, irds2033, seasonal, flowspeed, lifetime (extensions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"waterimm/internal/core"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/proto"
+	"waterimm/internal/pue"
+	"waterimm/internal/report"
+	"waterimm/internal/stack"
+)
+
+var (
+	flagExp   = flag.String("exp", "all", "comma-separated experiment ids (or 'all')")
+	flagScale = flag.Float64("scale", 0.4, "NPB workload scale for figs 10-13 (1.0 = full class)")
+	flagCSV   = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+)
+
+func main() {
+	flag.Parse()
+	ids := strings.Split(*flagExp, ",")
+	if *flagExp == "all" {
+		ids = []string{"table1", "table2", "fig1", "fig4", "fig6", "fig7", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+			"testboard", "pue", "irds2033", "seasonal", "flowspeed", "lifetime", "microchannel"}
+	}
+	for _, id := range ids {
+		if err := run(strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "waterbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func run(id string) error {
+	switch id {
+	case "table1":
+		header("Table 1: baseline 2-D CMP specification")
+		fmt.Print(mcpat.Baseline().Table())
+	case "table2":
+		header("Table 2: HotSpot-style simulation parameters")
+		printParams(stack.DefaultParams())
+	case "fig1":
+		return freqSweepOut(core.Fig1, "Figure 1: max frequency vs stacked Xeon E5-2667v4 chips")
+	case "fig4":
+		header("Figure 4: prototype chip temperature vs cooling option")
+		f4 := proto.Fig4()
+		var rows [][]string
+		for _, k := range []string{"air", "heatsink-in-water", "full-immersion"} {
+			rows = append(rows, []string{k, report.F(f4[k], 1)})
+		}
+		emit([]string{"cooling", "chip temp C"}, rows)
+	case "fig6":
+		header("Figure 6: relative power vs relative frequency")
+		var rows [][]string
+		for _, c := range core.Fig6() {
+			for _, p := range c.Points {
+				rows = append(rows, []string{c.Chip, report.F(p[0], 3), report.F(p[1], 3)})
+			}
+		}
+		emit([]string{"chip", "f/fmax", "P/Pmax"}, rows)
+	case "fig7":
+		return freqSweepOut(core.Fig7, "Figure 7: max frequency vs chips, low-power CMP")
+	case "fig8":
+		return freqSweepOut(core.Fig8, "Figure 8: max frequency vs chips, high-frequency CMP")
+	case "fig9":
+		return mapOut(core.Fig9, "Figure 9: thermal map, 4-chip high-frequency CMP @3.6 GHz, water")
+	case "fig10":
+		return npbOut(core.Fig10, "Figure 10: NPB times rel. water-pipe, 6-chip low-power CMP")
+	case "fig11":
+		return npbOut(core.Fig11, "Figure 11: NPB times rel. mineral oil, 8-chip low-power CMP")
+	case "fig12":
+		return npbOut(core.Fig12, "Figure 12: NPB times rel. water-pipe, 6-chip high-frequency CMP")
+	case "fig13":
+		return npbOut(core.Fig13, "Figure 13: NPB times rel. mineral oil, 8-chip high-frequency CMP")
+	case "fig14":
+		header("Figure 14: peak temperature vs heat transfer coefficient (4 chips, max frequency)")
+		pts, err := core.Fig14()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{p.Chip, report.F(p.H, 0), report.F(p.PeakC, 1)})
+		}
+		emit([]string{"chip", "h W/m2K", "peak C"}, rows)
+	case "fig15":
+		header("Figure 15: frequency vs temperature with/without 180° rotation (4-chip high-frequency)")
+		pts, err := core.Fig15()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			flip := "no"
+			if p.Flip {
+				flip = "flip"
+			}
+			rows = append(rows, []string{p.Coolant, flip, report.F(p.GHz, 1), report.F(p.PeakC, 1)})
+		}
+		emit([]string{"coolant", "layout", "GHz", "peak C"}, rows)
+		fmt.Printf("flip gain at 3.6 GHz (water): %.1f C\n", core.FlipGainC(pts, "water", 3.6))
+	case "fig16":
+		return mapOut(core.Fig16, "Figure 16: thermal map with flip, 4-chip high-frequency CMP @3.6 GHz, water")
+	case "fig17":
+		return freqSweepOut(core.Fig17, "Figure 17: max frequency vs stacked Xeon Phi 7290 chips")
+	case "irds2033":
+		return freqSweepOut(core.IRDS2033, "Extension: projected IRDS-2033 425 W CMP (2.5 W/mm2)")
+	case "seasonal":
+		header("Extension: seasonal natural-water deployment (8-chip high-frequency stack)")
+		pts, err := core.Seasonal()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			ghz := "-"
+			if p.Feasible {
+				ghz = report.F(p.GHz, 1)
+			}
+			rows = append(rows, []string{p.Body, p.Season, report.F(p.AmbientC, 1), ghz})
+		}
+		emit([]string{"water body", "season", "water C", "GHz"}, rows)
+	case "flowspeed":
+		header("Extension: water flow speed vs planned frequency (4-chip high-frequency stack)")
+		pts, err := core.FlowSpeed()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			ghz := "-"
+			if p.GHz > 0 {
+				ghz = report.F(p.GHz, 1)
+			}
+			rows = append(rows, []string{report.F(p.SpeedMS, 2), report.F(p.H, 0), ghz, report.F(p.PeakC, 1)})
+		}
+		emit([]string{"speed m/s", "h W/m2K", "GHz", "peak C"}, rows)
+	case "lifetime":
+		header("Extension: silicon lifetime at matched performance (4-chip high-frequency @2.0 GHz)")
+		pts, err := core.Lifetime()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{p.Coolant, report.F(p.PeakC, 1), report.F(p.MTTFYears, 1)})
+		}
+		emit([]string{"coolant", "peak C", "MTTF years"}, rows)
+	case "microchannel":
+		header("Extension: water immersion vs inter-die microchannels (high-frequency CMP)")
+		pts, err := core.Microchannel()
+		if err != nil {
+			return err
+		}
+		var rows [][]string
+		for _, p := range pts {
+			imm, ch := "-", "-"
+			if p.ImmersionGHz > 0 {
+				imm = report.F(p.ImmersionGHz, 1)
+			}
+			if p.ChannelGHz > 0 {
+				ch = report.F(p.ChannelGHz, 1)
+			}
+			rows = append(rows, []string{fmt.Sprint(p.Chips), imm, ch})
+		}
+		emit([]string{"chips", "immersion GHz", "microchannel GHz"}, rows)
+	case "fig18":
+		return mapOut(core.Fig18, "Figure 18: thermal map, 4-chip Xeon Phi @1.2 GHz, water")
+	case "testboard":
+		header("Section 2.2: test-board component lifetime (5 boards, 2 years)")
+		fmt.Print(proto.SimulateFleet(5, 2, nil, 42).String())
+		fmt.Printf("expected board lifetime, unmasked: %.1f years\n",
+			proto.ExpectedBoardLifetimeYears(nil))
+		fmt.Printf("expected board lifetime, recommended masking: %.1f years\n",
+			proto.ExpectedBoardLifetimeYears(proto.MaskRecommended()))
+	case "pue":
+		header("Section 4.4: facility PUE comparison (1 MW IT load)")
+		fmt.Print(pue.CompareTable(pue.StandardFacilities(1000), 30))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func emit(headers []string, rows [][]string) {
+	if *flagCSV {
+		report.CSV(os.Stdout, headers, rows)
+	} else {
+		report.Table(os.Stdout, headers, rows)
+	}
+}
+
+func freqSweepOut(fn func() (*core.FreqSweep, error), title string) error {
+	header(title)
+	fs, err := fn()
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	var series []report.Series
+	var xlabels []string
+	for n := 1; n <= len(fs.Plans[0]); n++ {
+		xlabels = append(xlabels, fmt.Sprint(n))
+	}
+	for _, c := range fs.Coolants {
+		row := fs.Row(c.Name)
+		y := make([]float64, len(row))
+		cells := []string{c.Name}
+		for i, g := range row {
+			if g == 0 {
+				y[i] = math.NaN()
+				cells = append(cells, "-")
+			} else {
+				y[i] = g
+				cells = append(cells, report.F(g, 1))
+			}
+		}
+		rows = append(rows, cells)
+		series = append(series, report.Series{Name: c.Name, Y: y})
+	}
+	headers := append([]string{"coolant \\ chips"}, xlabels...)
+	emit(headers, rows)
+	if !*flagCSV {
+		fmt.Println()
+		report.LineChart(os.Stdout, xlabels, series, 14)
+	}
+	return nil
+}
+
+func mapOut(fn func() (*core.ThermalMap, error), title string) error {
+	header(title)
+	tm, err := fn()
+	if err != nil {
+		return err
+	}
+	for i, die := range tm.Dies {
+		fmt.Printf("-- layer %d (%s) max %.1f C, min %.1f C --\n", i+1,
+			layerPos(i, len(tm.Dies)), tm.MaxC[i], tm.MinC[i])
+		report.Heatmap(os.Stdout, die, tm.NX, tm.NY)
+	}
+	return nil
+}
+
+func layerPos(i, n int) string {
+	switch {
+	case i == 0:
+		return "bottom"
+	case i == n-1:
+		return "top"
+	default:
+		return "middle"
+	}
+}
+
+func npbOut(fn func(scale float64) ([]core.NPBResult, error), title string) error {
+	header(title)
+	results, err := fn(*flagScale)
+	if err != nil {
+		return err
+	}
+	benchNames := []string{"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"}
+	headers := append([]string{"coolant", "GHz"}, benchNames...)
+	headers = append(headers, "geomean", "energy")
+	var rows [][]string
+	for _, r := range results {
+		if !r.Feasible {
+			rows = append(rows, []string{r.Coolant, "-"})
+			continue
+		}
+		row := []string{r.Coolant, report.F(r.GHz, 1)}
+		for _, b := range benchNames {
+			row = append(row, report.F(r.Relative[b], 3))
+		}
+		row = append(row, report.F(r.GeoMean, 3), report.F(r.EnergyGeoMean, 3))
+		rows = append(rows, row)
+	}
+	emit(headers, rows)
+	return nil
+}
+
+func printParams(p stack.Params) {
+	rows := [][]string{
+		{"Heatsink", fmt.Sprintf("%.0fx%.0fx? cm base %.0f mm, %.0f W/mK, %.4f m2 fin area",
+			p.SinkSide*100, p.SinkSide*100, p.SinkBaseThick*1000, p.SinkK, p.SinkTotalArea)},
+		{"Heat spreader", fmt.Sprintf("%.0fx%.0fx%.1f cm, %.0f W/mK", p.SpreaderSide*100, p.SpreaderSide*100, p.SpreaderThick*100, p.SpreaderK)},
+		{"Parylene film", fmt.Sprintf("%.0f um, %.2f W/mK", p.ParyleneThick*1e6, p.ParyleneK)},
+		{"TIM / Glue", fmt.Sprintf("%.0f um, %.2f W/mK", p.TIMThickness*1e6, p.TIMK)},
+		{"Die", fmt.Sprintf("%.0f um, %.0f W/mK", p.DieThickness*1e6, p.DieK)},
+		{"Die-to-die bond", fmt.Sprintf("%.0f um, %.0f W/mK (TSV fill)", p.BondThickness*1e6, p.BondK)},
+		{"Outside temp", fmt.Sprintf("%.0f C", p.AmbientC)},
+		{"Grid", fmt.Sprintf("%dx%d per layer", p.GridNX, p.GridNY)},
+	}
+	for _, c := range material.Coolants() {
+		rows = append(rows, []string{"h " + c.Name, fmt.Sprintf("%.0f W/m2K", c.H)})
+	}
+	emit([]string{"parameter", "value"}, rows)
+}

@@ -1,0 +1,13 @@
+// Package waterimm is a from-scratch Go reproduction of "The Case for
+// Water-Immersion Computer Boards" (Koibuchi et al., ICPP 2019): the
+// McPAT-style power model, HotSpot-style 3-D thermal solver,
+// gem5-style full-system CMP simulator and the in-water prototype
+// models behind the paper's evaluation, plus the experiment drivers
+// that regenerate every table and figure.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The root package
+// hosts only the benchmark harness (bench_test.go), one benchmark per
+// table and figure.
+package waterimm

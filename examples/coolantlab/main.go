@@ -1,0 +1,72 @@
+// Coolant-lab example: designing the cooling loop itself. Converts
+// pump speeds into film coefficients with the flat-plate correlations
+// (internal/convection), plans the stack at each operating point,
+// prices the silicon-lifetime consequences (internal/reliability),
+// and compares plain immersion against inter-die microchannels — the
+// three "further considerations" of the paper's Section 4 and 5.1 as
+// one executable study.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"waterimm/internal/convection"
+	"waterimm/internal/core"
+	"waterimm/internal/reliability"
+	"waterimm/internal/report"
+)
+
+func main() {
+	fmt.Println("== pump speed -> h -> planned frequency (4-chip high-frequency stack) ==")
+	flow, err := core.FlowSpeed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows [][]string
+	for _, p := range flow {
+		rows = append(rows, []string{
+			report.F(p.SpeedMS, 2), report.F(p.H, 0), report.F(p.GHz, 1), report.F(p.PeakC, 1),
+		})
+	}
+	report.Table(os.Stdout, []string{"speed m/s", "h W/m2K", "GHz", "peak C"}, rows)
+
+	fmt.Println("\n== what pump does the paper's h=800 need? ==")
+	for _, f := range []convection.Fluid{convection.WaterFluid, convection.MineralOilFluid} {
+		v, err := f.SpeedForH(800, 0.12)
+		if err != nil {
+			fmt.Printf("  %-12s cannot reach h=800 with forced flow over 12 cm\n", f.Name)
+			continue
+		}
+		fmt.Printf("  %-12s %.2f m/s\n", f.Name, v)
+	}
+
+	fmt.Println("\n== silicon lifetime at matched 2.0 GHz ==")
+	life, err := core.Lifetime()
+	if err != nil {
+		log.Fatal(err)
+	}
+	em := reliability.Electromigration()
+	rows = rows[:0]
+	for _, p := range life {
+		rows = append(rows, []string{
+			p.Coolant, report.F(p.PeakC, 1), report.F(p.MTTFYears, 0),
+			report.F(em.AccelerationFactor(p.PeakC), 2),
+		})
+	}
+	report.Table(os.Stdout, []string{"coolant", "peak C", "MTTF years", "aging vs 80C"}, rows)
+
+	fmt.Println("\n== immersion vs inter-die microchannels ==")
+	mc, err := core.Microchannel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows = rows[:0]
+	for _, p := range mc {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Chips), report.F(p.ImmersionGHz, 1), report.F(p.ChannelGHz, 1),
+		})
+	}
+	report.Table(os.Stdout, []string{"chips", "immersion GHz", "microchannel GHz"}, rows)
+}

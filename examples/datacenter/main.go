@@ -1,0 +1,62 @@
+// Datacenter example: the Section 4.4 macro-system analysis. Compares
+// the PUE and coolant cost of six cooling facilities for a 1 MW
+// cluster, then walks the Tokyo-Bay-style natural-water deployment:
+// fouling-degraded convection over time and the expected uptime of an
+// unmasked board at sea versus a masked board in a tap-water tank.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"waterimm/internal/material"
+	"waterimm/internal/proto"
+	"waterimm/internal/pue"
+	"waterimm/internal/report"
+)
+
+func main() {
+	const itLoadKW = 1000
+
+	fmt.Println("== cooling facility comparison (1 MW IT load, 30 L/kW tanks) ==")
+	facilities := pue.StandardFacilities(itLoadKW)
+	fmt.Print(pue.CompareTable(facilities, 30))
+
+	// Yearly facility energy: every point of PUE is money.
+	fmt.Println("\n== yearly cooling+distribution overhead ==")
+	var labels []string
+	var overheadMWh []float64
+	for _, f := range facilities {
+		labels = append(labels, f.Name)
+		overheadMWh = append(overheadMWh, (f.PUE()-1)*itLoadKW*8760/1000)
+	}
+	report.BarChart(os.Stdout, labels, overheadMWh, 40)
+
+	fmt.Println("\n== 10-year cooling TCO at 10 c/kWh (capex + fill + PUE overhead) ==")
+	var tcoLabels []string
+	var tcoMUSD []float64
+	for _, f := range facilities {
+		tcoLabels = append(tcoLabels, f.Name)
+		tcoMUSD = append(tcoMUSD, f.TCOUSD(10, 0.10, 30)/1e6)
+	}
+	report.BarChart(os.Stdout, tcoLabels, tcoMUSD, 40)
+	direct := facilities[len(facilities)-1]
+	air := facilities[0]
+	fmt.Printf("direct natural water pays back its premium over air+chiller in %.1f years\n",
+		direct.BreakEvenYears(air, 0.10, 30))
+
+	fmt.Println("\n== natural-water deployment (Tokyo Bay, Section 4.4.3) ==")
+	sea := proto.NewDeployment(proto.EnvSea)
+	tap := proto.NewDeployment(proto.EnvTap)
+	fmt.Printf("median uptime of a fully-coated, unmasked board: sea %.0f days, tap water %.0f days\n",
+		sea.MedianUptimeDays(), tap.MedianUptimeDays())
+	fmt.Println("\neffective water heat-transfer coefficient under biofouling:")
+	for _, days := range []float64{0, 14, 53, 120, 365} {
+		fmt.Printf("  day %3.0f: %5.0f W/m2K (sea)   %5.0f W/m2K (tap)\n",
+			days, sea.EffectiveH(material.Water.H, days), tap.EffectiveH(material.Water.H, days))
+	}
+
+	fmt.Println("\nwith the paper's recommended masking (PCIe, RJ45, mPCIe, battery, memory slots dry):")
+	fmt.Printf("  expected board lifetime: %.1f years\n",
+		proto.ExpectedBoardLifetimeYears(proto.MaskRecommended()))
+}

@@ -1,0 +1,51 @@
+// Immersion-lab example: the Section 2 prototype studies as an
+// executable lab notebook — the Figure 4 temperature measurement, a
+// Monte-Carlo rerun of the five-test-board campaign, and a masking
+// policy comparison for production boards.
+package main
+
+import (
+	"fmt"
+
+	"waterimm/internal/proto"
+)
+
+func main() {
+	fmt.Println("== Figure 4: chip temperature of the coated PRIMERGY TX1320 M2 ==")
+	board := proto.TX1320()
+	for _, mode := range []proto.CoolingMode{
+		proto.ModeAir, proto.ModeHeatsinkInWater, proto.ModeFullImmersion,
+	} {
+		fmt.Printf("  %-18s %.1f C\n", mode, board.ChipTempC(mode))
+	}
+
+	fmt.Println("\n== test-board campaign: 5 boards, 2 years under tap water ==")
+	fmt.Print(proto.SimulateFleet(5, 2, nil, 42).String())
+
+	fmt.Println("\n== masking policies, 100 boards, 3 years ==")
+	policies := []struct {
+		name   string
+		masked map[string]bool
+	}{
+		{"no masking", nil},
+		{"recommended (Section 2.3)", proto.MaskRecommended()},
+		{"connectors only", map[string]bool{"pciex4": true, "rj45": true, "mpcie": true}},
+	}
+	for _, p := range policies {
+		rep := proto.SimulateFleet(100, 3, p.masked, 7)
+		fmt.Printf("  %-26s %3d/%d boards fault-free, E[lifetime] %.1f years\n",
+			p.name, rep.SurvivedBoards, rep.Boards,
+			proto.ExpectedBoardLifetimeYears(p.masked))
+	}
+
+	fmt.Println("\n== natural water (Tokyo Bay) vs laboratory tank ==")
+	for _, env := range []proto.Environment{proto.EnvTap, proto.EnvSea} {
+		d := proto.NewDeployment(env)
+		name := "tap-water tank"
+		if env == proto.EnvSea {
+			name = "Tokyo Bay"
+		}
+		fmt.Printf("  %-15s median unmasked uptime %.0f days, water h after 53 days: %.0f W/m2K\n",
+			name, d.MedianUptimeDays(), d.EffectiveH(800, 53))
+	}
+}

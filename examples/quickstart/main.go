@@ -1,0 +1,51 @@
+// Quickstart: plan the maximum operating frequency of a 3-D stacked
+// CMP under each cooling option, then inspect the water-immersion
+// thermal field — the library's core loop in ~40 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"os"
+	"waterimm/internal/core"
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/report"
+)
+
+func main() {
+	planner := core.NewPlanner() // Table 2 stack, 80 °C threshold
+	chip := power.HighFrequency  // 4-core 16-tile CMP, 1.2-3.6 GHz VFS
+	const chips = 4
+
+	fmt.Printf("planning a %d-chip stack of the %s CMP (threshold %.0f C)\n\n",
+		chips, chip.Name, planner.ThresholdC)
+	for _, coolant := range material.Coolants() {
+		plan, err := planner.MaxFrequency(chip, chips, coolant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !plan.Feasible {
+			fmt.Printf("  %-12s cannot hold %d chips under the threshold\n", coolant.Name, chips)
+			continue
+		}
+		fmt.Printf("  %-12s %.1f GHz  (peak %.1f C, %.1f W/chip)\n",
+			coolant.Name, plan.Step.GHz(), plan.PeakC, plan.Step.TotalW())
+	}
+
+	// Solve the water-immersion stack at its planned frequency and
+	// render the bottom die's temperature field.
+	plan, err := planner.MaxFrequency(chip, chips, material.Water)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := planner.Solve(core.StackSpec{
+		Chip: chip, Chips: chips, Coolant: material.Water, FHz: plan.Step.FHz,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbottom die at %.1f GHz under water immersion:\n", plan.Step.GHz())
+	report.Heatmap(os.Stdout, res.LayerMap(0), res.Model.Grid.NX, res.Model.Grid.NY)
+}

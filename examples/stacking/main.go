@@ -1,0 +1,79 @@
+// Stacking example: a design-space exploration the paper motivates
+// but leaves to future work ("evaluation for the ability to densely
+// pack compute nodes"). For each coolant, sweep the stack depth of
+// the high-frequency CMP and report aggregate throughput
+// (cores × frequency) per stack, the knee where adding chips stops
+// paying, and the gain from the 180°-flip layout near the knee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"waterimm/internal/core"
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/report"
+)
+
+func main() {
+	chip := power.HighFrequency
+	const maxChips = 12
+
+	planner := core.NewPlanner()
+	fmt.Println("aggregate throughput (GHz x cores) vs stack depth:")
+	headers := []string{"coolant \\ chips"}
+	for n := 1; n <= maxChips; n++ {
+		headers = append(headers, fmt.Sprint(n))
+	}
+	var rows [][]string
+	best := map[string]int{}
+	for _, coolant := range material.Coolants() {
+		row := []string{coolant.Name}
+		bestTput, bestN := 0.0, 0
+		for n := 1; n <= maxChips; n++ {
+			plan, err := planner.MaxFrequency(chip, n, coolant)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !plan.Feasible {
+				row = append(row, "-")
+				continue
+			}
+			tput := plan.Step.GHz() * float64(chip.Cores*n)
+			row = append(row, report.F(tput, 0))
+			if tput > bestTput {
+				bestTput, bestN = tput, n
+			}
+		}
+		best[coolant.Name] = bestN
+		rows = append(rows, row)
+	}
+	report.Table(os.Stdout, headers, rows)
+	fmt.Println()
+	for _, c := range material.Coolants() {
+		if best[c.Name] > 0 {
+			fmt.Printf("  %-12s best depth: %d chips\n", c.Name, best[c.Name])
+		}
+	}
+
+	// The flip layout (Section 4.2) buys headroom exactly where the
+	// stack runs against the threshold.
+	fmt.Println("\nflip layout at the water-cooling knee:")
+	n := best[material.Water.Name]
+	for _, flip := range []bool{false, true} {
+		p := core.NewPlanner()
+		p.Flip = flip
+		plan, err := p.MaxFrequency(chip, n, material.Water)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout := "aligned"
+		if flip {
+			layout = "flipped"
+		}
+		fmt.Printf("  %d chips, %s: %.1f GHz (peak %.1f C)\n",
+			n, layout, plan.Step.GHz(), plan.PeakC)
+	}
+}

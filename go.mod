@@ -1,0 +1,3 @@
+module waterimm
+
+go 1.22

@@ -1,0 +1,395 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// dirEntry is one L2-resident line with its directory state. The
+// sharers bitmap never includes the owner.
+type dirEntry struct {
+	tag      uint64
+	valid    bool
+	modified bool // L2 copy newer than memory
+	value    uint64
+	owner    int // core id, or -1
+	sharers  uint64
+	lastUse  uint64
+}
+
+// bankTxnKind tags the in-flight transaction blocking a line.
+type bankTxnKind int
+
+const (
+	txnGetS bankTxnKind = iota
+	txnGetM
+	txnRecall // L2 eviction collecting acks/data
+)
+
+// bankTxn serialises one line at its home.
+type bankTxn struct {
+	kind      bankTxnKind
+	addr      uint64
+	requester int
+	// queue holds requests for this line that arrived while busy.
+	queue []Msg
+	// waitMem marks an outstanding fetch from the memory controller.
+	waitMem bool
+	// Recall bookkeeping.
+	needAcks, gotAcks int
+	needData, gotData bool
+	recallValue       uint64
+	// installAfterRecall resumes the original transaction whose L2
+	// install triggered this recall.
+	installAfterRecall *pendingInstall
+}
+
+// pendingInstall is an install deferred behind a victim recall.
+type pendingInstall struct {
+	addr  uint64
+	value uint64
+	then  func()
+}
+
+// BankStats counts directory/bank activity.
+type BankStats struct {
+	GetS, GetM, PutM       uint64
+	StalePutM              uint64
+	Fetches                uint64
+	Writebacks             uint64
+	Recalls                uint64
+	ForwardedS, ForwardedM uint64
+	Queued                 uint64
+}
+
+// Bank is one L2 bank plus the directory home for its line slice.
+type Bank struct {
+	sys     *System
+	id      int // bank index (0..Banks)
+	sets    [][]dirEntry
+	setMask uint64
+	clock   uint64
+	busy    map[uint64]*bankTxn
+	Stats   BankStats
+}
+
+func newBank(sys *System, id int) *Bank {
+	cfg := sys.Cfg
+	nsets := cfg.L2BankBytes / cfg.LineBytes / cfg.L2Assoc
+	sets := make([][]dirEntry, nsets)
+	for i := range sets {
+		s := make([]dirEntry, cfg.L2Assoc)
+		for j := range s {
+			s[j].owner = -1
+		}
+		sets[i] = s
+	}
+	return &Bank{sys: sys, id: id, sets: sets, setMask: uint64(nsets - 1), busy: make(map[uint64]*bankTxn)}
+}
+
+func (b *Bank) ctrl() int { return b.sys.bankCtrl(b.id) }
+
+func (b *Bank) set(line uint64) []dirEntry {
+	// Lines are interleaved across banks; fold the bank stride out of
+	// the index so consecutive home lines map to consecutive sets.
+	idx := (line / uint64(b.sys.Cfg.LineBytes)) / uint64(b.sys.Cfg.Banks())
+	return b.sets[idx&b.setMask]
+}
+
+func (b *Bank) find(line uint64) *dirEntry {
+	s := b.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+func (b *Bank) touch(e *dirEntry) {
+	b.clock++
+	e.lastUse = b.clock
+}
+
+// Receive dispatches a message to the bank after its access latency.
+func (b *Bank) Receive(m Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM, MsgPutM:
+		if t, ok := b.busy[m.Addr]; ok {
+			b.Stats.Queued++
+			t.queue = append(t.queue, m)
+			return
+		}
+		b.dispatch(m)
+	case MsgUnblock:
+		b.unblock(m.Addr)
+	case MsgMemData:
+		b.memArrived(m)
+	case MsgRecallData:
+		t := b.busy[m.Addr]
+		if t == nil || t.kind != txnRecall {
+			panic(fmt.Sprintf("coherence: bank %d stray RecallData for %#x", b.id, m.Addr))
+		}
+		t.gotData = true
+		t.recallValue = m.Value
+		b.maybeFinishRecall(t)
+	case MsgInvAckHome:
+		t := b.busy[m.Addr]
+		if t == nil || t.kind != txnRecall {
+			panic(fmt.Sprintf("coherence: bank %d stray InvAckHome for %#x", b.id, m.Addr))
+		}
+		t.gotAcks++
+		b.maybeFinishRecall(t)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d cannot handle %v", b.id, m.Type))
+	}
+}
+
+// dispatch starts handling a request on an idle line.
+func (b *Bank) dispatch(m Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM:
+		if m.Type == MsgGetS {
+			b.Stats.GetS++
+		} else {
+			b.Stats.GetM++
+		}
+		kind := txnGetS
+		if m.Type == MsgGetM {
+			kind = txnGetM
+		}
+		t := &bankTxn{kind: kind, addr: m.Addr, requester: m.Requester}
+		b.busy[m.Addr] = t
+		if e := b.find(m.Addr); e != nil {
+			b.proceed(t, e)
+			return
+		}
+		// L2 miss: fetch the line from this chip's memory controller.
+		b.Stats.Fetches++
+		t.waitMem = true
+		b.sys.send(Msg{Type: MsgMemRead, Addr: m.Addr, Src: b.ctrl(),
+			Dst: b.sys.mcCtrl(b.id / b.sys.Cfg.BanksPerChip)})
+
+	case MsgPutM:
+		b.Stats.PutM++
+		e := b.find(m.Addr)
+		if e != nil && e.owner == m.Src {
+			e.value = m.Value
+			e.modified = true
+			e.owner = -1
+		} else {
+			b.Stats.StalePutM++
+		}
+		b.sys.send(Msg{Type: MsgPutAck, Addr: m.Addr, Src: b.ctrl(), Dst: m.Src})
+	}
+}
+
+// memArrived installs a fetched line and resumes the waiting
+// transaction.
+func (b *Bank) memArrived(m Msg) {
+	t := b.busy[m.Addr]
+	if t == nil || !t.waitMem {
+		panic(fmt.Sprintf("coherence: bank %d stray MemData for %#x", b.id, m.Addr))
+	}
+	t.waitMem = false
+	b.install(m.Addr, m.Value, func() {
+		e := b.find(m.Addr)
+		if e == nil {
+			panic(fmt.Sprintf("coherence: bank %d lost line %#x after install", b.id, m.Addr))
+		}
+		b.proceed(t, e)
+	})
+}
+
+// proceed serves a GetS/GetM transaction from a resident entry and
+// leaves the line busy until the requester's Unblock.
+func (b *Bank) proceed(t *bankTxn, e *dirEntry) {
+	b.touch(e)
+	req := t.requester
+	switch t.kind {
+	case txnGetS:
+		if e.owner >= 0 && e.owner != req {
+			// Owner holds the freshest copy: forward.
+			b.Stats.ForwardedS++
+			b.sys.send(Msg{Type: MsgFwdGetS, Addr: t.addr, Src: b.ctrl(),
+				Dst: e.owner, Requester: req})
+			e.sharers |= 1 << uint(req)
+			// The previous owner keeps the line in O.
+			return
+		}
+		if e.owner == req {
+			// Redundant GetS from the owner (lost its copy without a
+			// writeback reaching us yet cannot happen — owner
+			// evictions always PutM — so this is a protocol bug).
+			panic(fmt.Sprintf("coherence: bank %d GetS from registered owner %d for %#x", b.id, req, t.addr))
+		}
+		if e.sharers == 0 {
+			// Grant E; the directory tracks an E holder as owner
+			// because it may silently upgrade to M.
+			e.owner = req
+			b.sys.send(Msg{Type: MsgDataExcl, Addr: t.addr, Src: b.ctrl(),
+				Dst: req, Value: e.value})
+			return
+		}
+		e.sharers |= 1 << uint(req)
+		b.sys.send(Msg{Type: MsgData, Addr: t.addr, Src: b.ctrl(),
+			Dst: req, Value: e.value})
+
+	case txnGetM:
+		others := e.sharers &^ (1 << uint(req))
+		acks := bits.OnesCount64(others)
+		for s := others; s != 0; {
+			core := bits.TrailingZeros64(s)
+			s &^= 1 << uint(core)
+			b.sys.send(Msg{Type: MsgInv, Addr: t.addr, Src: b.ctrl(),
+				Dst: core, Requester: req})
+		}
+		switch {
+		case e.owner >= 0 && e.owner != req:
+			b.Stats.ForwardedM++
+			b.sys.send(Msg{Type: MsgFwdGetM, Addr: t.addr, Src: b.ctrl(),
+				Dst: e.owner, Requester: req, AckCount: acks})
+		default:
+			// Home supplies the data (or just the ack count for an
+			// upgrading owner, which keeps its own copy).
+			b.sys.send(Msg{Type: MsgData, Addr: t.addr, Src: b.ctrl(),
+				Dst: req, Value: e.value, AckCount: acks})
+		}
+		e.owner = req
+		e.sharers = 0
+	}
+}
+
+// unblock closes the line's transaction and drains one queued
+// request.
+func (b *Bank) unblock(line uint64) {
+	t := b.busy[line]
+	if t == nil {
+		panic(fmt.Sprintf("coherence: bank %d unblock for idle line %#x", b.id, line))
+	}
+	queue := t.queue
+	delete(b.busy, line)
+	// Drain synchronously: a delayed drain would leave the line
+	// apparently idle, letting a newly arriving request start a
+	// second transaction that the drained one would then clobber.
+	for len(queue) > 0 {
+		next := queue[0]
+		queue = queue[1:]
+		b.dispatch(next)
+		if nt, ok := b.busy[line]; ok {
+			nt.queue = append(nt.queue, queue...)
+			return
+		}
+		// The drained request (PutM) completed synchronously at the
+		// directory; keep draining.
+	}
+}
+
+// install places a fetched line, recalling a victim if the set is
+// full. then runs once the line is resident.
+func (b *Bank) install(line uint64, value uint64, then func()) {
+	s := b.set(line)
+	for i := range s {
+		if !s[i].valid {
+			s[i] = dirEntry{tag: line, valid: true, value: value, owner: -1}
+			b.touch(&s[i])
+			then()
+			return
+		}
+	}
+	// Choose the LRU non-busy victim.
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range s {
+		if _, busy := b.busy[s[i].tag]; busy {
+			continue
+		}
+		if s[i].lastUse < oldest {
+			oldest = s[i].lastUse
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Every way is mid-transaction; with one outstanding miss per
+		// core this cannot happen in a correctly sized L2.
+		panic(fmt.Sprintf("coherence: bank %d has no evictable way for %#x", b.id, line))
+	}
+	v := &s[victim]
+	if v.owner < 0 && v.sharers == 0 {
+		b.dropEntry(v)
+		s[victim] = dirEntry{tag: line, valid: true, value: value, owner: -1}
+		b.touch(&s[victim])
+		then()
+		return
+	}
+	// Inclusive L2: recall the cached copies first.
+	b.Stats.Recalls++
+	t := &bankTxn{kind: txnRecall, addr: v.tag,
+		installAfterRecall: &pendingInstall{addr: line, value: value, then: then}}
+	b.busy[v.tag] = t
+	if v.owner >= 0 {
+		t.needData = true
+		b.sys.send(Msg{Type: MsgRecall, Addr: v.tag, Src: b.ctrl(), Dst: v.owner})
+	} else {
+		t.recallValue = v.value
+	}
+	t.needAcks = bits.OnesCount64(v.sharers)
+	for sh := v.sharers; sh != 0; {
+		core := bits.TrailingZeros64(sh)
+		sh &^= 1 << uint(core)
+		b.sys.send(Msg{Type: MsgInvHome, Addr: v.tag, Src: b.ctrl(), Dst: core})
+	}
+	b.maybeFinishRecall(t)
+}
+
+// maybeFinishRecall completes an eviction once the owner's data and
+// all sharer acks are in, then performs the deferred install.
+func (b *Bank) maybeFinishRecall(t *bankTxn) {
+	if t.needData && !t.gotData || t.gotAcks < t.needAcks {
+		return
+	}
+	e := b.find(t.addr)
+	if e == nil {
+		panic(fmt.Sprintf("coherence: bank %d recall lost entry %#x", b.id, t.addr))
+	}
+	e.value = t.recallValue
+	e.modified = true
+	e.owner = -1
+	e.sharers = 0
+	b.dropEntry(e)
+	queue := t.queue
+	pi := t.installAfterRecall
+	delete(b.busy, t.addr)
+	// Requests that queued on the recalled line restart as misses.
+	for _, m := range queue {
+		b.Receive(m)
+	}
+	s := b.set(pi.addr)
+	placed := false
+	for i := range s {
+		if !s[i].valid {
+			s[i] = dirEntry{tag: pi.addr, valid: true, value: pi.value, owner: -1}
+			b.touch(&s[i])
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		panic(fmt.Sprintf("coherence: bank %d recall freed no way for %#x", b.id, pi.addr))
+	}
+	pi.then()
+}
+
+// dropEntry writes a modified line back to memory and invalidates the
+// entry.
+func (b *Bank) dropEntry(e *dirEntry) {
+	if e.modified {
+		b.Stats.Writebacks++
+		b.sys.send(Msg{Type: MsgMemWrite, Addr: e.tag, Src: b.ctrl(),
+			Dst: b.sys.mcCtrl(b.id / b.sys.Cfg.BanksPerChip), Value: e.value})
+	}
+	e.valid = false
+	e.owner = -1
+	e.sharers = 0
+	e.modified = false
+}

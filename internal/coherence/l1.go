@@ -1,0 +1,391 @@
+package coherence
+
+import "fmt"
+
+// l1Line is one resident L1 line.
+type l1Line struct {
+	tag     uint64
+	state   L1State
+	value   uint64
+	lastUse uint64
+	// prefetched marks a line installed by the prefetcher and not
+	// yet demanded (for accuracy accounting).
+	prefetched bool
+}
+
+// l1Txn is one outstanding transaction. A blocking core has at most
+// one *demand* transaction; the optional next-line prefetcher adds
+// background GetS transactions, so the cache keys them by line.
+type l1Txn struct {
+	addr     uint64
+	write    bool
+	upgrade  bool // requester held O and keeps its own value
+	prefetch bool // background fill; no core waits on it (yet)
+	gotData  bool
+	value    uint64
+	state    L1State // state granted by the data response
+	needAcks int     // -1 until the ack count is known
+	gotAcks  int
+	done     func(value uint64)
+}
+
+// L1Stats counts per-core cache activity.
+type L1Stats struct {
+	Loads, Stores uint64
+	Hits, Misses  uint64
+	Upgrades      uint64
+	Writebacks    uint64
+	FwdsServed    uint64
+	Invalidations uint64
+	// Prefetches counts issued next-line fills; PrefetchHits demand
+	// accesses served by a prefetched line or an in-flight prefetch.
+	Prefetches, PrefetchHits uint64
+}
+
+// L1 is a private per-core data cache with MOESI states.
+type L1 struct {
+	sys     *System
+	core    int // core id == controller id
+	sets    [][]l1Line
+	setMask uint64
+	clock   uint64
+	txns    map[uint64]*l1Txn
+	// wb holds dirty lines evicted but not yet acknowledged by the
+	// home; forwards that race with the eviction are served from
+	// here.
+	wb    map[uint64]uint64
+	Stats L1Stats
+}
+
+func newL1(sys *System, core int) *L1 {
+	cfg := sys.Cfg
+	nsets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Assoc
+	sets := make([][]l1Line, nsets)
+	for i := range sets {
+		sets[i] = make([]l1Line, cfg.L1Assoc)
+	}
+	return &L1{
+		sys:     sys,
+		core:    core,
+		sets:    sets,
+		setMask: uint64(nsets - 1),
+		txns:    make(map[uint64]*l1Txn),
+		wb:      make(map[uint64]uint64),
+	}
+}
+
+func (c *L1) set(line uint64) []l1Line {
+	return c.sets[(line/uint64(c.sys.Cfg.LineBytes))&c.setMask]
+}
+
+// Access performs a load (write=false) or store (write=true). done is
+// invoked — through the kernel, never synchronously — when the access
+// commits, with the line's data token. A second Access while one is
+// outstanding panics: the in-order core model must not issue it.
+func (c *L1) Access(addr uint64, write bool, done func(value uint64)) {
+	for _, t := range c.txns {
+		if !t.prefetch {
+			panic(fmt.Sprintf("coherence: core %d issued a second outstanding access", c.core))
+		}
+	}
+	line := c.sys.Cfg.Line(addr)
+	if write {
+		c.Stats.Stores++
+	} else {
+		c.Stats.Loads++
+	}
+	lat := c.sys.cycles(c.sys.Cfg.L1LatencyCycles)
+	l := c.find(line)
+	if l != nil && (l.state.readable() && !write || l.state.writable() && write) {
+		// Plain hit.
+		c.Stats.Hits++
+		if l.prefetched {
+			c.Stats.PrefetchHits++
+			l.prefetched = false
+		}
+		c.touch(l)
+		if write {
+			l.state = StateM
+			l.value++
+		}
+		v := l.value
+		c.sys.K.After(lat, func() { done(v) })
+		return
+	}
+	if l != nil && write {
+		// Upgrade: S or O -> M.
+		c.Stats.Upgrades++
+		c.Stats.Misses++
+		c.txns[line] = &l1Txn{addr: line, write: true, upgrade: l.state == StateO,
+			needAcks: -1, done: done}
+		c.sys.K.After(lat, func() {
+			c.sys.send(Msg{Type: MsgGetM, Addr: line, Src: c.core,
+				Dst: c.sys.bankCtrl(c.sys.Cfg.HomeBank(line)), Requester: c.core})
+		})
+		return
+	}
+	if t, ok := c.txns[line]; ok && t.prefetch && !write {
+		// Read hit under an in-flight prefetch: adopt it as the
+		// demand transaction.
+		c.Stats.Misses++
+		c.Stats.PrefetchHits++
+		t.prefetch = false
+		t.done = done
+		return
+	}
+	if t, ok := c.txns[line]; ok && t.prefetch && write {
+		// A write cannot reuse the GetS prefetch; the in-order core
+		// guarantees no demand transaction is outstanding, so wait
+		// for the prefetch fill and then upgrade through Access
+		// recursion.
+		c.Stats.Misses++
+		t.prefetch = false
+		t.done = func(uint64) { c.Access(addr, true, done) }
+		c.Stats.Stores-- // the retry re-counts it
+		return
+	}
+	// Plain miss.
+	c.Stats.Misses++
+	t := MsgGetS
+	if write {
+		t = MsgGetM
+	}
+	c.txns[line] = &l1Txn{addr: line, write: write, needAcks: -1, done: done}
+	c.sys.K.After(lat, func() {
+		c.sys.send(Msg{Type: t, Addr: line, Src: c.core,
+			Dst: c.sys.bankCtrl(c.sys.Cfg.HomeBank(line)), Requester: c.core})
+	})
+	c.maybePrefetch(line + uint64(c.sys.Cfg.LineBytes))
+}
+
+// maybePrefetch issues a background next-line GetS when the
+// prefetcher is enabled and the line is neither resident nor already
+// in flight.
+func (c *L1) maybePrefetch(line uint64) {
+	if !c.sys.Cfg.L1PrefetchNextLine {
+		return
+	}
+	if c.find(line) != nil {
+		return
+	}
+	if _, ok := c.txns[line]; ok {
+		return
+	}
+	c.Stats.Prefetches++
+	c.txns[line] = &l1Txn{addr: line, prefetch: true, needAcks: -1}
+	c.sys.send(Msg{Type: MsgGetS, Addr: line, Src: c.core,
+		Dst: c.sys.bankCtrl(c.sys.Cfg.HomeBank(line)), Requester: c.core})
+}
+
+// find returns the resident line for a line address, or nil.
+func (c *L1) find(line uint64) *l1Line {
+	s := c.set(line)
+	for i := range s {
+		if s[i].state != StateI && s[i].tag == line {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+func (c *L1) touch(l *l1Line) {
+	c.clock++
+	l.lastUse = c.clock
+}
+
+// install places a line after a miss completes, evicting if needed.
+func (c *L1) install(line uint64, st L1State, value uint64) {
+	s := c.set(line)
+	victim := -1
+	for i := range s {
+		if s[i].state == StateI {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		var oldest uint64 = ^uint64(0)
+		for i := range s {
+			// Never evict the line of a pending upgrade.
+			if _, pending := c.txns[s[i].tag]; pending {
+				continue
+			}
+			if s[i].lastUse < oldest {
+				oldest = s[i].lastUse
+				victim = i
+			}
+		}
+		if victim < 0 {
+			panic(fmt.Sprintf("coherence: core %d has no evictable L1 way", c.core))
+		}
+		c.evict(&s[victim])
+	}
+	s[victim] = l1Line{tag: line, state: st, value: value}
+	c.touch(&s[victim])
+}
+
+// evict removes a stable line. Dirty and exclusive lines notify the
+// home with a PutM (an E line's writeback carries the unchanged
+// value, which keeps the directory's owner field exact); S lines drop
+// silently.
+func (c *L1) evict(l *l1Line) {
+	if l.state.dirty() || l.state == StateE {
+		c.Stats.Writebacks++
+		c.wb[l.tag] = l.value
+		c.sys.send(Msg{Type: MsgPutM, Addr: l.tag, Src: c.core,
+			Dst: c.sys.bankCtrl(c.sys.Cfg.HomeBank(l.tag)), Value: l.value})
+	}
+	l.state = StateI
+}
+
+// maybeComplete finishes a pending transaction once data and all acks
+// have arrived.
+func (c *L1) maybeComplete(t *l1Txn) {
+	if t == nil || !t.gotData || t.needAcks < 0 || t.gotAcks < t.needAcks {
+		return
+	}
+	delete(c.txns, t.addr)
+	value := t.value
+	if t.write {
+		value++
+	}
+	if l := c.find(t.addr); l != nil {
+		// Upgrade path: the line is already resident.
+		l.state = t.state
+		l.value = value
+		c.touch(l)
+	} else {
+		c.install(t.addr, t.state, value)
+		if t.prefetch {
+			if l := c.find(t.addr); l != nil {
+				l.prefetched = true
+			}
+		}
+	}
+	// Close the transaction at the home so it can unblock the line.
+	c.sys.send(Msg{Type: MsgUnblock, Addr: t.addr, Src: c.core,
+		Dst: c.sys.bankCtrl(c.sys.Cfg.HomeBank(t.addr))})
+	if done := t.done; done != nil {
+		c.sys.K.After(0, func() { done(value) })
+	}
+}
+
+// Receive dispatches a protocol message to the cache.
+func (c *L1) Receive(m Msg) {
+	switch m.Type {
+	case MsgData, MsgDataExcl, MsgDataOwner:
+		t := c.txns[m.Addr]
+		if t == nil {
+			panic(fmt.Sprintf("coherence: core %d got %v for %#x with no matching transaction", c.core, m.Type, m.Addr))
+		}
+		t.gotData = true
+		t.needAcks = m.AckCount
+		if t.upgrade {
+			// We were the owner; our copy is the freshest.
+			if l := c.find(t.addr); l != nil {
+				t.value = l.value
+			}
+		} else {
+			t.value = m.Value
+		}
+		switch {
+		case t.write:
+			t.state = StateM
+		case m.Type == MsgDataExcl:
+			t.state = StateE
+		default:
+			t.state = StateS
+		}
+		c.maybeComplete(t)
+
+	case MsgInvAck:
+		t := c.txns[m.Addr]
+		if t == nil {
+			panic(fmt.Sprintf("coherence: core %d got stray InvAck for %#x", c.core, m.Addr))
+		}
+		t.gotAcks++
+		c.maybeComplete(t)
+
+	case MsgFwdGetS:
+		c.Stats.FwdsServed++
+		v, ok := c.serveValue(m.Addr, false)
+		if !ok {
+			panic(fmt.Sprintf("coherence: core %d forwarded GetS for %#x it does not hold", c.core, m.Addr))
+		}
+		c.sys.send(Msg{Type: MsgData, Addr: m.Addr, Src: c.core, Dst: m.Requester, Value: v})
+
+	case MsgFwdGetM:
+		c.Stats.FwdsServed++
+		v, ok := c.serveValue(m.Addr, true)
+		if !ok {
+			panic(fmt.Sprintf("coherence: core %d forwarded GetM for %#x it does not hold", c.core, m.Addr))
+		}
+		c.sys.send(Msg{Type: MsgDataOwner, Addr: m.Addr, Src: c.core,
+			Dst: m.Requester, Value: v, AckCount: m.AckCount})
+
+	case MsgInv:
+		c.Stats.Invalidations++
+		c.drop(m.Addr)
+		c.sys.send(Msg{Type: MsgInvAck, Addr: m.Addr, Src: c.core, Dst: m.Requester})
+
+	case MsgInvHome:
+		c.Stats.Invalidations++
+		c.drop(m.Addr)
+		c.sys.send(Msg{Type: MsgInvAckHome, Addr: m.Addr, Src: c.core, Dst: m.Src})
+
+	case MsgRecall:
+		v, ok := c.serveValue(m.Addr, true)
+		if !ok {
+			panic(fmt.Sprintf("coherence: core %d recalled for %#x it does not hold", c.core, m.Addr))
+		}
+		c.sys.send(Msg{Type: MsgRecallData, Addr: m.Addr, Src: c.core, Dst: m.Src, Value: v})
+
+	case MsgPutAck:
+		delete(c.wb, m.Addr)
+
+	default:
+		panic(fmt.Sprintf("coherence: core %d cannot handle %v", c.core, m.Type))
+	}
+}
+
+// serveValue returns the line's current value from the cache or the
+// writeback buffer, demoting (FwdGetS) or invalidating (FwdGetM /
+// Recall) the resident copy.
+func (c *L1) serveValue(line uint64, invalidate bool) (uint64, bool) {
+	if l := c.find(line); l != nil {
+		v := l.value
+		if invalidate {
+			l.state = StateI
+			// The forward transferred ownership; a pending upgrade
+			// transaction must no longer trust its local copy.
+			if t, ok := c.txns[line]; ok {
+				t.upgrade = false
+			}
+		} else if l.state == StateM || l.state == StateE {
+			l.state = StateO
+		}
+		return v, true
+	}
+	if v, ok := c.wb[line]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// drop invalidates a line without responding with data.
+func (c *L1) drop(line uint64) {
+	if l := c.find(line); l != nil {
+		l.state = StateI
+	}
+	if t, ok := c.txns[line]; ok {
+		t.upgrade = false
+	}
+}
+
+// HasLine reports the state of a line (for tests and invariants).
+func (c *L1) HasLine(line uint64) L1State {
+	if l := c.find(line); l != nil {
+		return l.state
+	}
+	return StateI
+}

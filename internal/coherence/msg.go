@@ -1,0 +1,132 @@
+// Package coherence implements the MOESI directory protocol of the
+// baseline CMP (Table 1): private L1 data caches per core, a
+// distributed shared L2 whose banks also act as directory homes, and
+// per-chip memory controllers, all exchanging messages over the
+// 3-D mesh of package noc on three virtual networks (request /
+// forward / response — "one VC for each message class").
+//
+// The protocol follows the classic blocking-home directory design
+// gem5's MOESI configurations use: the home bank serialises
+// transactions per line and stays busy until the requester's Unblock
+// closes the transaction; evicted dirty lines sit in a writeback
+// buffer until the home acknowledges the PutM, so forwarded requests
+// that race with the eviction are served from the buffer. Data
+// messages carry a monotonically increasing value token per line,
+// which the tests use to verify that the protocol never loses or
+// reorders writes.
+package coherence
+
+import "fmt"
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+// Protocol message types grouped by virtual network.
+const (
+	// Requests (vnet 0), sent by L1s to the home bank.
+	MsgGetS MsgType = iota // read: want Shared (or Exclusive) copy
+	MsgGetM                // write: want Modified copy
+	MsgPutM                // writeback of a dirty (M or O) line
+
+	// Forwards (vnet 1), sent by the home bank.
+	MsgFwdGetS // owner must send Data to requester, demote to O
+	MsgFwdGetM // owner must send Data+ownership to requester, invalidate
+	MsgInv     // sharer must invalidate and InvAck the requester
+	MsgRecall  // L2 eviction: owner must return Data to home, invalidate
+	MsgInvHome // L2 eviction: sharer must invalidate and ack the home
+
+	// Responses (vnet 2).
+	MsgData       // data to requester (AckCount piggybacks #InvAcks due)
+	MsgDataExcl   // data granting the E state (no other sharers)
+	MsgDataOwner  // data transferring ownership (requester goes M)
+	MsgInvAck     // invalidation ack, sent to the requester
+	MsgInvAckHome // invalidation ack for an L2 recall, sent home
+	MsgRecallData // owner's data back to home on recall
+	MsgPutAck     // home acknowledges PutM (stale or not)
+	MsgUnblock    // requester closes the transaction at home
+
+	// Memory traffic (vnet 0 requests / vnet 2 responses).
+	MsgMemRead
+	MsgMemWrite
+	MsgMemData
+)
+
+var msgNames = map[MsgType]string{
+	MsgGetS: "GetS", MsgGetM: "GetM", MsgPutM: "PutM",
+	MsgFwdGetS: "FwdGetS", MsgFwdGetM: "FwdGetM", MsgInv: "Inv",
+	MsgRecall: "Recall", MsgInvHome: "InvHome",
+	MsgData: "Data", MsgDataExcl: "DataExcl", MsgDataOwner: "DataOwner",
+	MsgInvAck: "InvAck", MsgInvAckHome: "InvAckHome", MsgRecallData: "RecallData",
+	MsgPutAck: "PutAck", MsgUnblock: "Unblock",
+	MsgMemRead: "MemRead", MsgMemWrite: "MemWrite", MsgMemData: "MemData",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// VNet returns the virtual network of the message class.
+func (t MsgType) VNet() int {
+	switch t {
+	case MsgGetS, MsgGetM, MsgPutM, MsgMemRead, MsgMemWrite:
+		return 0
+	case MsgFwdGetS, MsgFwdGetM, MsgInv, MsgRecall, MsgInvHome:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Carries reports whether the message carries a cache line (5 flits)
+// as opposed to control only (1 flit).
+func (t MsgType) CarriesData() bool {
+	switch t {
+	case MsgData, MsgDataExcl, MsgDataOwner, MsgPutM, MsgRecallData,
+		MsgMemWrite, MsgMemData:
+		return true
+	}
+	return false
+}
+
+// Msg is one protocol message.
+type Msg struct {
+	Type MsgType
+	// Addr is the line-aligned physical address.
+	Addr uint64
+	// Src and Dst are controller ids in the system's unified
+	// controller space (cores, then banks, then memory controllers).
+	Src, Dst int
+	// Requester is the L1 that a forward/ack chain ultimately serves.
+	Requester int
+	// AckCount, on Data from home, tells the requester how many
+	// InvAcks to collect before completing a GetM.
+	AckCount int
+	// Value is the line's data token (see package doc).
+	Value uint64
+}
+
+// L1State is a private cache line state (MOESI).
+type L1State int
+
+// MOESI states.
+const (
+	StateI L1State = iota
+	StateS
+	StateE
+	StateO
+	StateM
+)
+
+func (s L1State) String() string {
+	return [...]string{"I", "S", "E", "O", "M"}[s]
+}
+
+// readable/writable report the permissions of a state.
+func (s L1State) readable() bool { return s != StateI }
+func (s L1State) writable() bool { return s == StateM || s == StateE }
+
+// dirty reports whether the line must be written back on eviction.
+func (s L1State) dirty() bool { return s == StateM || s == StateO }

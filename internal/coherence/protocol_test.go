@@ -1,0 +1,432 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waterimm/internal/sim"
+)
+
+// chain runs a sequence of accesses, each issued when the previous
+// completes, and collects observed values.
+func chain(k *sim.Kernel, steps []func(next func())) {
+	var run func(i int)
+	run = func(i int) {
+		if i == len(steps) {
+			return
+		}
+		steps[i](func() { run(i + 1) })
+	}
+	run(0)
+	for k.Step() {
+	}
+}
+
+func TestExclusiveStateGrant(t *testing.T) {
+	// First reader of an uncached line gets E and can upgrade to M
+	// silently (no second GetM at the home).
+	k, s := newSys(t, 1)
+	const addr = 0x1040
+	chain(k, []func(next func()){
+		func(next func()) { s.L1s[0].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[0].Access(addr, true, func(uint64) { next() }) },
+	})
+	line := s.Cfg.Line(addr)
+	if st := s.L1s[0].HasLine(line); st != StateM {
+		t.Fatalf("after silent upgrade state is %v, want M", st)
+	}
+	if got := s.Banks[s.Cfg.HomeBank(line)].Stats.GetM; got != 0 {
+		t.Errorf("silent E->M upgrade must not issue GetM, saw %d", got)
+	}
+	if s.Messages[MsgDataExcl] != 1 {
+		t.Errorf("expected exactly one DataExcl, saw %d", s.Messages[MsgDataExcl])
+	}
+}
+
+func TestSecondReaderDemotesToShared(t *testing.T) {
+	// Reader 1 gets E; reader 2's GetS forwards to the owner, which
+	// demotes to O and serves the data.
+	k, s := newSys(t, 1)
+	const addr = 0x2080
+	chain(k, []func(next func()){
+		func(next func()) { s.L1s[0].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[1].Access(addr, false, func(uint64) { next() }) },
+	})
+	line := s.Cfg.Line(addr)
+	if st := s.L1s[0].HasLine(line); st != StateO {
+		t.Errorf("first reader should hold O after forwarding, has %v", st)
+	}
+	if st := s.L1s[1].HasLine(line); st != StateS {
+		t.Errorf("second reader should hold S, has %v", st)
+	}
+	if s.Messages[MsgFwdGetS] != 1 {
+		t.Errorf("expected one FwdGetS, saw %d", s.Messages[MsgFwdGetS])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterInvalidatesSharers(t *testing.T) {
+	// Three readers share the line; a fourth core's write must
+	// invalidate all of them and collect their acks.
+	k, s := newSys(t, 1)
+	const addr = 0x3000
+	chain(k, []func(next func()){
+		func(next func()) { s.L1s[0].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[1].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[2].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[3].Access(addr, true, func(uint64) { next() }) },
+	})
+	line := s.Cfg.Line(addr)
+	for c := 0; c < 3; c++ {
+		if st := s.L1s[c].HasLine(line); st != StateI {
+			t.Errorf("core %d still holds %v after invalidation", c, st)
+		}
+	}
+	if st := s.L1s[3].HasLine(line); st != StateM {
+		t.Errorf("writer holds %v, want M", st)
+	}
+	// Core 0 held O (it was the E-holder demoted by the sharers), so
+	// the home forwarded the write to it; cores 1 and 2 got Inv.
+	if s.Messages[MsgInv] < 2 {
+		t.Errorf("expected >=2 Inv messages, saw %d", s.Messages[MsgInv])
+	}
+	if s.Messages[MsgInvAck] < 2 {
+		t.Errorf("expected >=2 InvAcks, saw %d", s.Messages[MsgInvAck])
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerUpgradeKeepsValue(t *testing.T) {
+	// Core 0 writes (value 1); core 1 reads (0 becomes O); core 1
+	// writes. Core 1's upgrade must invalidate core 0 and end with
+	// value 2 — the freshest copy came from the owner, not the home.
+	k, s := newSys(t, 1)
+	const addr = 0x4100
+	var got uint64
+	chain(k, []func(next func()){
+		func(next func()) { s.L1s[0].Access(addr, true, func(uint64) { next() }) },
+		func(next func()) { s.L1s[1].Access(addr, false, func(uint64) { next() }) },
+		func(next func()) { s.L1s[1].Access(addr, true, func(v uint64) { got = v; next() }) },
+	})
+	if got != 2 {
+		t.Fatalf("second writer observed %d, want 2", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritebackRace(t *testing.T) {
+	// Force core 0 to evict a dirty line by filling its L1 set, then
+	// have core 1 read that line: whether the read's forward races
+	// the PutM or arrives after it, the value must survive.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1, 2.0e9)
+	cfg.L1Bytes = 64 * 4 * 2 // 2 sets x 4 ways: tiny L1
+	cfg.L1Assoc = 4
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 0x10000
+	setStride := uint64(cfg.LineBytes * 2) // same-set addresses
+	var got uint64
+	steps := []func(next func()){
+		func(next func()) { s.L1s[0].Access(victim, true, func(uint64) { next() }) },
+	}
+	// Four more same-set fills evict the victim.
+	for i := 1; i <= 4; i++ {
+		a := victim + uint64(i)*setStride
+		steps = append(steps, func(next func()) { s.L1s[0].Access(a, false, func(uint64) { next() }) })
+	}
+	steps = append(steps, func(next func()) { s.L1s[1].Access(victim, false, func(v uint64) { got = v; next() }) })
+	chain(k, steps)
+	if got != 1 {
+		t.Fatalf("reader after writeback saw %d, want 1", got)
+	}
+	var wb uint64
+	for _, l1 := range s.L1s {
+		wb += l1.Stats.Writebacks
+	}
+	if wb == 0 {
+		t.Fatal("test did not exercise the writeback path")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCBandwidthQueue(t *testing.T) {
+	// Burst of misses to one chip's MC: the channel serialises, so
+	// completion times must be spaced at least the service time apart.
+	k, s := newSys(t, 1)
+	var finishes []sim.Time
+	n := 8
+	for c := 0; c < 4; c++ {
+		c := c
+		var issue func(i int)
+		issue = func(i int) {
+			if i == n/4 {
+				return
+			}
+			addr := uint64(c*1000+i*7) * 4096 // distinct lines, distinct banks
+			s.L1s[c].Access(addr, false, func(uint64) {
+				finishes = append(finishes, k.Now())
+				issue(i + 1)
+			})
+		}
+		issue(0)
+	}
+	for k.Step() {
+	}
+	if len(finishes) != n {
+		t.Fatalf("%d accesses finished, want %d", len(finishes), n)
+	}
+	var reads uint64
+	for _, mc := range s.MCs {
+		reads += mc.Stats.Reads
+		if mc.Stats.BusyFS == 0 && mc.Stats.Reads > 0 {
+			t.Error("MC served reads without accruing busy time")
+		}
+	}
+	if reads != uint64(n) {
+		t.Errorf("MC reads %d, want %d", reads, n)
+	}
+}
+
+func TestHomeBankDistribution(t *testing.T) {
+	// Property: line interleaving spreads addresses across all banks.
+	cfg := DefaultConfig(2, 2.0e9)
+	counts := make([]int, cfg.Banks())
+	f := func(raw uint32) bool {
+		addr := uint64(raw) * 64
+		h := cfg.HomeBank(addr)
+		if h < 0 || h >= cfg.Banks() {
+			return false
+		}
+		counts[h]++
+		return cfg.HomeBank(addr+uint64(cfg.LineBytes-1)) == h // same line, same home
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// With 2000 uniform lines over 24 banks, every bank should see
+	// traffic.
+	for b, c := range counts {
+		if c == 0 {
+			t.Errorf("bank %d never selected", b)
+		}
+	}
+}
+
+func TestConfigValidateCatchesErrors(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Chips = 0 },
+		func(c *Config) { c.Chips = 17 }, // 68 cores > 64-bit bitmap
+		func(c *Config) { c.LineBytes = 48 },
+		func(c *Config) { c.L1Assoc = 0 },
+		func(c *Config) { c.L2BankBytes = 64 },
+		func(c *Config) { c.MemLatencyNS = 0 },
+		func(c *Config) { c.FHz = 0 },
+		func(c *Config) { c.CoresPerChip = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(2, 2.0e9)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMessageVNetsAndSizes(t *testing.T) {
+	// Every message class must land on its Table 1 virtual network
+	// and size class.
+	wantVNet := map[MsgType]int{
+		MsgGetS: 0, MsgGetM: 0, MsgPutM: 0, MsgMemRead: 0, MsgMemWrite: 0,
+		MsgFwdGetS: 1, MsgFwdGetM: 1, MsgInv: 1, MsgRecall: 1, MsgInvHome: 1,
+		MsgData: 2, MsgDataExcl: 2, MsgDataOwner: 2, MsgInvAck: 2,
+		MsgInvAckHome: 2, MsgRecallData: 2, MsgPutAck: 2, MsgUnblock: 2, MsgMemData: 2,
+	}
+	for mt, vnet := range wantVNet {
+		if mt.VNet() != vnet {
+			t.Errorf("%v on vnet %d, want %d", mt, mt.VNet(), vnet)
+		}
+	}
+	for _, mt := range []MsgType{MsgData, MsgDataExcl, MsgDataOwner, MsgPutM, MsgRecallData, MsgMemData, MsgMemWrite} {
+		if !mt.CarriesData() {
+			t.Errorf("%v must carry a cache line", mt)
+		}
+	}
+	for _, mt := range []MsgType{MsgGetS, MsgGetM, MsgInv, MsgInvAck, MsgUnblock, MsgPutAck} {
+		if mt.CarriesData() {
+			t.Errorf("%v must be a 1-flit control message", mt)
+		}
+	}
+	if MsgGetS.String() != "GetS" || MsgType(99).String() == "" {
+		t.Error("MsgType.String misbehaves")
+	}
+}
+
+func TestCrossChipSharing(t *testing.T) {
+	// Cores on different chips exchange a line through the 3-D mesh.
+	k, s := newSys(t, 4)
+	const addr = 0x9000
+	var got uint64
+	chain(k, []func(next func()){
+		func(next func()) { s.L1s[0].Access(addr, true, func(uint64) { next() }) },     // chip 0
+		func(next func()) { s.L1s[15].Access(addr, true, func(uint64) { next() }) },    // chip 3
+		func(next func()) { s.L1s[7].Access(addr, false, func(v uint64) { got = v }) }, // chip 1
+	})
+	if got != 2 {
+		t.Fatalf("cross-chip reader saw %d, want 2", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyCoreRandomStress(t *testing.T) {
+	// 8 chips (32 cores), mixed private/shared random traffic, then
+	// full invariant and value audit.
+	k, s := newSys(t, 8)
+	rng := rand.New(rand.NewSource(23))
+	stores := make(map[uint64]uint64)
+	var issue func(core, remaining int)
+	issue = func(core, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		var addr uint64
+		if rng.Intn(2) == 0 {
+			addr = uint64(rng.Intn(128)) * 64 // shared
+		} else {
+			addr = uint64(1<<20)*uint64(core+1) + uint64(rng.Intn(64))*64 // private
+		}
+		write := rng.Intn(3) == 0
+		if write {
+			stores[addr]++
+		}
+		s.L1s[core].Access(addr, write, func(uint64) { issue(core, remaining-1) })
+	}
+	for c := 0; c < s.Cfg.Cores(); c++ {
+		issue(c, 150)
+	}
+	for k.Step() {
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range stores {
+		if got := s.finalValue(addr); got != want {
+			t.Errorf("line %#x final value %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestPrefetchWriteRetry(t *testing.T) {
+	// A store landing on an in-flight prefetch must wait for the fill
+	// and then upgrade — and the value chain must stay exact.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1, 2.0e9)
+	cfg.L1PrefetchNextLine = true
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a = 0x8000
+	var got uint64
+	// Miss on a prefetches a+64; immediately store to a+64.
+	s.L1s[0].Access(a, false, func(uint64) {
+		s.L1s[0].Access(a+64, true, func(uint64) {
+			s.L1s[0].Access(a+64, false, func(v uint64) { got = v })
+		})
+	})
+	for k.Step() {
+	}
+	if got != 1 {
+		t.Fatalf("store-on-prefetch chain saw %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchReadAdoption(t *testing.T) {
+	// A load on an in-flight prefetch adopts it instead of issuing a
+	// second GetS.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1, 2.0e9)
+	cfg.L1PrefetchNextLine = true
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const a = 0x9000
+	doneCh := false
+	s.L1s[0].Access(a, false, func(uint64) {
+		// The prefetch for a+64 is in flight; this read adopts it.
+		s.L1s[0].Access(a+64, false, func(uint64) { doneCh = true })
+	})
+	for k.Step() {
+	}
+	if !doneCh {
+		t.Fatal("adopted prefetch never completed the demand read")
+	}
+	home := s.Banks[s.Cfg.HomeBank(a+64)]
+	if home.Stats.GetS > 1 {
+		// The home of a+64 must have seen exactly the prefetch GetS
+		// (not a second demand GetS). Other lines map elsewhere.
+		t.Errorf("adoption should not re-request: home saw %d GetS", home.Stats.GetS)
+	}
+	if s.L1s[0].Stats.PrefetchHits == 0 {
+		t.Error("prefetch hit not accounted")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchRandomStress(t *testing.T) {
+	// Random traffic with the prefetcher on: invariants and value
+	// integrity must survive the extra transactions.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(2, 2.0e9)
+	cfg.L1PrefetchNextLine = true
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	stores := make(map[uint64]uint64)
+	var issue func(core, remaining int)
+	issue = func(core, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(96)) * 64
+		write := rng.Intn(3) == 0
+		if write {
+			stores[addr]++
+		}
+		s.L1s[core].Access(addr, write, func(uint64) { issue(core, remaining-1) })
+	}
+	for c := 0; c < s.Cfg.Cores(); c++ {
+		issue(c, 120)
+	}
+	for k.Step() {
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range stores {
+		if got := s.finalValue(addr); got != want {
+			t.Errorf("line %#x final value %d, want %d", addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"waterimm/internal/sim"
+)
+
+// run drives the kernel until quiescence and fails on leftovers.
+func run(t *testing.T, k *sim.Kernel) {
+	t.Helper()
+	for i := 0; k.Step(); i++ {
+		if i > 50_000_000 {
+			t.Fatal("simulation did not quiesce")
+		}
+	}
+}
+
+func newSys(t *testing.T, chips int) (*sim.Kernel, *System) {
+	t.Helper()
+	k := sim.NewKernel()
+	s, err := New(k, DefaultConfig(chips, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s
+}
+
+func TestReadAfterWriteSingleCore(t *testing.T) {
+	k, s := newSys(t, 1)
+	var got uint64
+	s.L1s[0].Access(0x1000, true, func(v uint64) {
+		s.L1s[0].Access(0x1000, false, func(v uint64) { got = v })
+	})
+	run(t, k)
+	if got != 1 {
+		t.Fatalf("read-after-write saw %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMigration(t *testing.T) {
+	k, s := newSys(t, 2)
+	const addr = 0x4040
+	// Core 0 writes twice, then core 5 writes, then core 0 reads: the
+	// read must observe all three stores.
+	var got uint64
+	s.L1s[0].Access(addr, true, func(uint64) {
+		s.L1s[0].Access(addr, true, func(uint64) {
+			s.L1s[5].Access(addr, true, func(uint64) {
+				s.L1s[0].Access(addr, false, func(v uint64) { got = v })
+			})
+		})
+	})
+	run(t, k)
+	if got != 3 {
+		t.Fatalf("migratory read saw %d, want 3", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomSharedTraffic(t *testing.T) {
+	k, s := newSys(t, 2)
+	rng := rand.New(rand.NewSource(7))
+	const lines = 64
+	stores := make(map[uint64]uint64)
+	// Each core performs a random mix over a small shared region,
+	// chained sequentially per core (blocking in-order cores).
+	var issue func(core int, remaining int)
+	issue = func(core int, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		addr := uint64(rng.Intn(lines)) * 64
+		write := rng.Intn(3) == 0
+		if write {
+			stores[addr]++
+		}
+		s.L1s[core].Access(addr, write, func(v uint64) {
+			issue(core, remaining-1)
+		})
+	}
+	for c := 0; c < s.Cfg.Cores(); c++ {
+		issue(c, 200)
+	}
+	run(t, k)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every line's final value (wherever it lives) must equal the
+	// number of stores to it: no lost or duplicated writes.
+	for addr, want := range stores {
+		got := s.finalValue(addr)
+		if got != want {
+			t.Errorf("line %#x final value %d, want %d", addr, got, want)
+		}
+	}
+}
+
+// finalValue digs out a line's authoritative value: M/E/O holder
+// first, then the L2 copy, then DRAM.
+func (s *System) finalValue(addr uint64) uint64 {
+	line := s.Cfg.Line(addr)
+	for _, l1 := range s.L1s {
+		if st := l1.HasLine(line); st == StateM || st == StateE || st == StateO {
+			return l1.find(line).value
+		}
+	}
+	if e := s.Banks[s.Cfg.HomeBank(line)].find(line); e != nil {
+		return e.value
+	}
+	return s.memValue[line]
+}
+
+func TestL2RecallPath(t *testing.T) {
+	// Shrink the L2 so that a small working set forces recalls.
+	k := sim.NewKernel()
+	cfg := DefaultConfig(1, 2.0e9)
+	cfg.L2BankBytes = 64 * 8 * 2 // 2 sets x 8 ways per bank
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	stores := make(map[uint64]uint64)
+	var issue func(core, remaining int)
+	issue = func(core, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		// Address range spanning many sets of the same banks forces
+		// L2 evictions of lines still cached in L1s.
+		addr := uint64(rng.Intn(4096)) * 64
+		write := rng.Intn(2) == 0
+		if write {
+			stores[addr]++
+		}
+		s.L1s[core].Access(addr, write, func(uint64) { issue(core, remaining-1) })
+	}
+	for c := 0; c < s.Cfg.Cores(); c++ {
+		issue(c, 300)
+	}
+	run(t, k)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var recalls uint64
+	for _, b := range s.Banks {
+		recalls += b.Stats.Recalls
+	}
+	if recalls == 0 {
+		t.Fatal("expected the tiny L2 to exercise the recall path")
+	}
+	for addr, want := range stores {
+		if got := s.finalValue(addr); got != want {
+			t.Errorf("line %#x final value %d, want %d", addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package convection computes heat transfer coefficients from fluid
+// properties and flow conditions, connecting Figure 14's abstract
+// h-axis to physical pump/turbine speeds (Section 4.1: "it could be
+// worthwhile in practice to increase coolant flow speed (e.g., via
+// turbines)"). Two classic flat-plate correlations are implemented:
+//
+//	natural convection:  Nu = 0.54·Ra^¼            (hot plate up)
+//	forced, laminar:     Nu = 0.664·Re^½·Pr^⅓       (Re < 5·10⁵)
+//	forced, turbulent:   Nu = 0.037·Re^⅘·Pr^⅓       (Re ≥ 5·10⁵)
+//
+// with h = Nu·k/L. Property tables at ~25 °C cover the paper's
+// coolants; the paper's h = 14 (air) and h = 800 (water) sit inside
+// the ranges these correlations produce for fan-driven air and gently
+// circulated water.
+package convection
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fluid carries the thermophysical properties the correlations need
+// (at ~25 °C).
+type Fluid struct {
+	Name string
+	// Conductivity in W/(m·K).
+	Conductivity float64
+	// KinematicViscosity in m²/s.
+	KinematicViscosity float64
+	// Prandtl number (dimensionless).
+	Prandtl float64
+	// ThermalExpansion in 1/K (for natural convection).
+	ThermalExpansion float64
+	// ThermalDiffusivity in m²/s.
+	ThermalDiffusivity float64
+}
+
+// Property tables (25 °C, 1 atm).
+var (
+	AirFluid = Fluid{
+		Name: "air", Conductivity: 0.026,
+		KinematicViscosity: 15.7e-6, Prandtl: 0.71,
+		ThermalExpansion: 3.4e-3, ThermalDiffusivity: 22.2e-6,
+	}
+	WaterFluid = Fluid{
+		Name: "water", Conductivity: 0.61,
+		KinematicViscosity: 0.89e-6, Prandtl: 6.1,
+		ThermalExpansion: 2.6e-4, ThermalDiffusivity: 0.146e-6,
+	}
+	MineralOilFluid = Fluid{
+		Name: "mineral-oil", Conductivity: 0.13,
+		KinematicViscosity: 30e-6, Prandtl: 400,
+		ThermalExpansion: 7e-4, ThermalDiffusivity: 0.08e-6,
+	}
+	FluorinertFluid = Fluid{
+		Name: "fluorinert", Conductivity: 0.065,
+		KinematicViscosity: 0.4e-6, Prandtl: 12,
+		ThermalExpansion: 1.6e-3, ThermalDiffusivity: 0.033e-6,
+	}
+)
+
+// Fluids lists the property tables.
+func Fluids() []Fluid {
+	return []Fluid{AirFluid, WaterFluid, MineralOilFluid, FluorinertFluid}
+}
+
+// transitionRe is the laminar-turbulent transition Reynolds number
+// for a flat plate.
+const transitionRe = 5e5
+
+// Reynolds returns the plate Reynolds number for flow speed v (m/s)
+// over characteristic length l (m).
+func (f Fluid) Reynolds(v, l float64) float64 {
+	return v * l / f.KinematicViscosity
+}
+
+// ForcedH returns the mean forced-convection coefficient in W/(m²·K)
+// for flow at v m/s over a plate of length l.
+func (f Fluid) ForcedH(v, l float64) (float64, error) {
+	if v <= 0 || l <= 0 {
+		return 0, fmt.Errorf("convection: need positive speed and length")
+	}
+	re := f.Reynolds(v, l)
+	var nu float64
+	if re < transitionRe {
+		nu = 0.664 * math.Sqrt(re) * math.Cbrt(f.Prandtl)
+	} else {
+		nu = 0.037 * math.Pow(re, 0.8) * math.Cbrt(f.Prandtl)
+	}
+	return nu * f.Conductivity / l, nil
+}
+
+// NaturalH returns the natural-convection coefficient for a heated
+// horizontal plate of characteristic length l with surface-to-fluid
+// temperature difference dT.
+func (f Fluid) NaturalH(dT, l float64) (float64, error) {
+	if dT <= 0 || l <= 0 {
+		return 0, fmt.Errorf("convection: need positive dT and length")
+	}
+	const g = 9.81
+	ra := g * f.ThermalExpansion * dT * l * l * l /
+		(f.KinematicViscosity * f.ThermalDiffusivity)
+	nu := 0.54 * math.Pow(ra, 0.25)
+	return nu * f.Conductivity / l, nil
+}
+
+// SpeedForH inverts ForcedH: the flow speed needed to reach a target
+// coefficient over a plate of length l (bisection over [1 mm/s,
+// 100 m/s]).
+func (f Fluid) SpeedForH(targetH, l float64) (float64, error) {
+	if targetH <= 0 || l <= 0 {
+		return 0, fmt.Errorf("convection: need positive target and length")
+	}
+	lo, hi := 1e-3, 100.0
+	hLo, err := f.ForcedH(lo, l)
+	if err != nil {
+		return 0, err
+	}
+	hHi, _ := f.ForcedH(hi, l)
+	if targetH < hLo || targetH > hHi {
+		return 0, fmt.Errorf("convection: target %.0f W/m2K outside [%.1f, %.0f] reachable for %s over %.2f m",
+			targetH, hLo, hHi, f.Name, l)
+	}
+	for i := 0; i < 100; i++ {
+		mid := math.Sqrt(lo * hi)
+		h, _ := f.ForcedH(mid, l)
+		if h < targetH {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}

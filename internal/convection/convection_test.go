@@ -1,0 +1,141 @@
+package convection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestForcedAirTextbookPoint(t *testing.T) {
+	// Air at 5 m/s over a 0.3 m plate: Re ≈ 9.6e4 (laminar),
+	// Nu ≈ 0.664·√Re·Pr^⅓ ≈ 183, h ≈ 16 W/m²K — the classic
+	// fan-cooled-surface magnitude, bracketing the paper's h = 14.
+	h, err := AirFluid.ForcedH(5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 10 || h > 25 {
+		t.Errorf("air at 5 m/s: h = %.1f W/m2K, textbook ~16", h)
+	}
+}
+
+func TestWaterReachesPaperCoefficient(t *testing.T) {
+	// Gently circulated water over the heatsink scale must reach the
+	// paper's 800 W/m²K at a modest speed.
+	v, err := WaterFluid.SpeedForH(800, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("water needs %.2f m/s for h=800 over 12 cm", v)
+	if v < 0.005 || v > 2 {
+		t.Errorf("speed %.3f m/s implausible for h=800", v)
+	}
+	// And the turbine argument of Section 4.1: 4x the speed buys a
+	// clearly higher h.
+	h1, _ := WaterFluid.ForcedH(v, 0.12)
+	h4, _ := WaterFluid.ForcedH(4*v, 0.12)
+	if h4 < 1.5*h1 {
+		t.Errorf("4x speed should raise h well above %.0f, got %.0f", h1, h4)
+	}
+}
+
+func TestLaminarTurbulentTransition(t *testing.T) {
+	// h must be continuousish and increasing across speeds, and the
+	// turbulent branch must engage at high Re.
+	l := 0.3
+	prev := 0.0
+	for _, v := range []float64{0.5, 1, 2, 5, 10, 20, 40} {
+		h, err := AirFluid.ForcedH(v, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h <= prev {
+			t.Errorf("h not increasing at %g m/s: %.1f <= %.1f", v, h, prev)
+		}
+		prev = h
+	}
+	if re := AirFluid.Reynolds(40, l); re < transitionRe {
+		t.Fatalf("test never reached turbulence (Re=%.0f)", re)
+	}
+}
+
+func TestForcedHMonotonicProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		va := 0.1 + float64(a)/10
+		vb := 0.1 + float64(b)/10
+		if va > vb {
+			va, vb = vb, va
+		}
+		ha, err1 := WaterFluid.ForcedH(va, 0.1)
+		hb, err2 := WaterFluid.ForcedH(vb, 0.1)
+		return err1 == nil && err2 == nil && ha <= hb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaturalConvection(t *testing.T) {
+	// Still air over a warm 30 cm plate at ΔT = 30 C: the natural
+	// coefficient sits in the canonical 2-10 W/m²K band.
+	h, err := AirFluid.NaturalH(30, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 || h > 10 {
+		t.Errorf("natural air convection h = %.1f, expected 2-10", h)
+	}
+	// Natural water convection is an order of magnitude stronger.
+	hw, err := WaterFluid.NaturalH(30, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw < 10*h/3 {
+		t.Errorf("natural water (%.0f) should dwarf natural air (%.1f)", hw, h)
+	}
+}
+
+func TestSpeedForHRoundTrip(t *testing.T) {
+	for _, target := range []float64{100, 800, 3000} {
+		v, err := WaterFluid.SpeedForH(target, 0.12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := WaterFluid.ForcedH(v, 0.12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h-target) > target*0.01 {
+			t.Errorf("round trip for %g: got %.1f", target, h)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := AirFluid.ForcedH(0, 1); err == nil {
+		t.Error("zero speed must error")
+	}
+	if _, err := AirFluid.NaturalH(-1, 1); err == nil {
+		t.Error("negative dT must error")
+	}
+	if _, err := AirFluid.SpeedForH(1e9, 0.1); err == nil {
+		t.Error("unreachable target must error")
+	}
+	if _, err := AirFluid.SpeedForH(0, 0.1); err == nil {
+		t.Error("zero target must error")
+	}
+}
+
+func TestFluidsTable(t *testing.T) {
+	if len(Fluids()) != 4 {
+		t.Fatal("expected four fluids")
+	}
+	for _, f := range Fluids() {
+		if f.Conductivity <= 0 || f.KinematicViscosity <= 0 || f.Prandtl <= 0 {
+			t.Errorf("%s: non-physical properties", f.Name)
+		}
+	}
+	if WaterFluid.Conductivity <= AirFluid.Conductivity {
+		t.Error("water conducts heat far better than air")
+	}
+}

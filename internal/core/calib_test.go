@@ -1,0 +1,388 @@
+package core
+
+import (
+	"testing"
+
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+)
+
+// The calibration tests pin the qualitative claims of the paper's
+// evaluation (see DESIGN.md §2 and EXPERIMENTS.md): they are the
+// acceptance criteria for the stack parameters in stack.DefaultParams
+// and the VFS constants in package power. They intentionally assert
+// orderings and crossovers, not absolute temperatures.
+
+// sweepFor runs the planner sweep once per chip and caches it across
+// the calibration tests (each full sweep costs tens of seconds).
+var sweepCache = map[string]*FreqSweep{}
+
+func sweepFor(t *testing.T, chip power.Model, threshold float64, maxChips int) *FreqSweep {
+	t.Helper()
+	if s, ok := sweepCache[chip.Name]; ok {
+		return s
+	}
+	s, err := sweep("calib", chip, threshold, maxChips, material.Coolants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepCache[chip.Name] = s
+	return s
+}
+
+func maxChipsFor(t *testing.T, chip power.Model) map[string]int {
+	t.Helper()
+	max := 15
+	threshold := 80.0
+	if chip.Name == "e5" || chip.Name == "phi" {
+		max = 4
+	}
+	s := sweepFor(t, chip, threshold, max)
+	out := map[string]int{}
+	for _, c := range s.Coolants {
+		out[c.Name] = s.MaxChips(c.Name)
+	}
+	return out
+}
+
+// TestCalibStackDepthOrdering asserts the paper's headline stack-depth
+// story for both baseline CMPs: air dies first, the water pipe
+// reaches further, and every immersion coolant carries the stack much
+// deeper, with water deepest.
+func TestCalibStackDepthOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	for _, chip := range []power.Model{power.LowPower, power.HighFrequency} {
+		depth := maxChipsFor(t, chip)
+		t.Logf("%s max chips: %v", chip.Name, depth)
+		if !(depth["air"] < depth["water-pipe"]) {
+			t.Errorf("%s: water-pipe (%d) must outlast air (%d)", chip.Name, depth["water-pipe"], depth["air"])
+		}
+		if !(depth["water-pipe"] < depth["mineral-oil"]) {
+			t.Errorf("%s: immersion (%d) must outlast the water pipe (%d)", chip.Name, depth["mineral-oil"], depth["water-pipe"])
+		}
+		if depth["water"] < depth["fluorinert"] || depth["fluorinert"] < depth["mineral-oil"] {
+			t.Errorf("%s: immersion depth order violated: oil %d, fluorinert %d, water %d",
+				chip.Name, depth["mineral-oil"], depth["fluorinert"], depth["water"])
+		}
+		// The paper's Figures 7 and 8: air supports only a handful of
+		// chips (4 in the paper), immersion carries the stack an
+		// order of magnitude deeper.
+		if depth["air"] > 6 {
+			t.Errorf("%s: air cooling reaches %d chips; the paper caps it at ~4", chip.Name, depth["air"])
+		}
+		if depth["water"] < 12 {
+			t.Errorf("%s: water immersion reaches only %d chips; the paper carries 15", chip.Name, depth["water"])
+		}
+	}
+	// Fig 8 vs Fig 7: the high-frequency CMP's wider VFS range lets
+	// it stack at least as deep as the low-power CMP (Section 3.2).
+	lp, hf := maxChipsFor(t, power.LowPower), maxChipsFor(t, power.HighFrequency)
+	if hf["water"] < lp["water"] {
+		t.Errorf("high-frequency water depth %d must be >= low-power %d", hf["water"], lp["water"])
+	}
+}
+
+// TestCalibFrequencyOrdering asserts that at every feasible chip
+// count the planned frequency respects the coolant ordering
+// air <= pipe <= oil <= fluorinert <= water, with water strictly
+// ahead of oil for deep stacks (the paper's "when 6 or 5 chips or
+// more are used").
+func TestCalibFrequencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	order := []string{"air", "water-pipe", "mineral-oil", "fluorinert", "water"}
+	for _, chip := range []power.Model{power.LowPower, power.HighFrequency} {
+		s := sweepFor(t, chip, 80, 15)
+		rows := map[string][]float64{}
+		for _, name := range order {
+			rows[name] = s.Row(name)
+		}
+		for n := 1; n <= 15; n++ {
+			for i := 0; i+1 < len(order); i++ {
+				lo, hi := rows[order[i]][n-1], rows[order[i+1]][n-1]
+				if lo == 0 {
+					continue // infeasible: nothing to compare
+				}
+				if hi == 0 {
+					t.Errorf("%s %d chips: %s feasible but better coolant %s is not",
+						chip.Name, n, order[i], order[i+1])
+					continue
+				}
+				if hi < lo {
+					t.Errorf("%s %d chips: %s plans %.1f GHz above %s's %.1f GHz",
+						chip.Name, n, order[i], lo, order[i+1], hi)
+				}
+			}
+		}
+		// Strict water > oil advantage for deep stacks.
+		strict := false
+		for n := 5; n <= 15; n++ {
+			if rows["water"][n-1] > rows["mineral-oil"][n-1] && rows["mineral-oil"][n-1] > 0 {
+				strict = true
+				break
+			}
+		}
+		if !strict {
+			t.Errorf("%s: water never strictly beats mineral oil beyond 5 chips", chip.Name)
+		}
+	}
+}
+
+// TestCalibSingleChipAllCoolantsMax asserts that a single chip runs at
+// its maximum VFS step under every coolant except possibly air (the
+// figures start all curves at or near fmax).
+func TestCalibSingleChipAllCoolantsMax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	s := sweepFor(t, power.LowPower, 80, 15)
+	for _, c := range []string{"water-pipe", "mineral-oil", "fluorinert", "water"} {
+		if got := s.Row(c)[0]; got < 2.0 {
+			t.Errorf("low-power single chip under %s plans %.1f GHz, want 2.0", c, got)
+		}
+	}
+}
+
+// TestCalibXeonE5 asserts the Figure 1 shape: air cannot stack beyond
+// a few chips, oil and water can, and water plans strictly higher
+// frequencies than oil from 3 chips on.
+func TestCalibXeonE5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	fs, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	air, oil, water := fs.MaxChips("air"), fs.MaxChips("mineral-oil"), fs.MaxChips("water")
+	t.Logf("e5 max chips: air=%d oil=%d water=%d", air, oil, water)
+	if air >= oil || oil > water {
+		t.Errorf("e5 depth ordering violated: air=%d oil=%d water=%d", air, oil, water)
+	}
+	if air > 3 {
+		t.Errorf("e5 air carries %d chips; the paper stops at 3", air)
+	}
+	if water < 4 {
+		t.Errorf("e5 water must carry 4 chips, got %d", water)
+	}
+	wrow, orow := fs.Row("water"), fs.Row("mineral-oil")
+	for n := 3; n <= 4; n++ {
+		if wrow[n-1] <= orow[n-1] {
+			t.Errorf("e5 %d chips: water %.1f GHz must exceed oil %.1f GHz", n, wrow[n-1], orow[n-1])
+		}
+	}
+}
+
+// TestCalibXeonPhi asserts the Figure 17 shape: the water pipe and
+// oil die within a few chips while water immersion holds the Phi at
+// or near its maximum frequency.
+func TestCalibXeonPhi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	fs, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, oil, water := fs.MaxChips("water-pipe"), fs.MaxChips("mineral-oil"), fs.MaxChips("water")
+	t.Logf("phi max chips: pipe=%d oil=%d water=%d", pipe, oil, water)
+	if pipe >= water || pipe > 3 {
+		t.Errorf("phi: water-pipe carries %d chips; the paper stops at 2-3", pipe)
+	}
+	if water < 4 {
+		t.Errorf("phi: water must carry 4 chips, got %d", water)
+	}
+	if got := fs.Row("water")[2]; got < 1.5 {
+		t.Errorf("phi: 3 chips under water should stay near 1.6 GHz, got %.1f", got)
+	}
+	_ = oil
+}
+
+// TestCalibFlipGain asserts Section 4.2: rotating even layers lowers
+// the peak temperature at 3.6 GHz for both air and water (the paper
+// measures a 13 °C gain for water) and never hurts.
+func TestCalibFlipGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coolant := range []string{"air", "water"} {
+		gain := FlipGainC(pts, coolant, 3.6)
+		t.Logf("flip gain at 3.6 GHz, %s: %.1f C", coolant, gain)
+		if gain <= 0 {
+			t.Errorf("flip must reduce peak temperature under %s, got %.1f C", coolant, gain)
+		}
+		if coolant == "water" && (gain < 3 || gain > 30) {
+			t.Errorf("water flip gain %.1f C far from the paper's 13 C class", gain)
+		}
+	}
+}
+
+// TestCalibHTCMonotonic asserts Figure 14: peak temperature falls
+// monotonically (with diminishing returns) as the coolant's heat
+// transfer coefficient rises, for every chip model.
+func TestCalibHTCMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byChip := map[string][]HTCPoint{}
+	for _, p := range pts {
+		byChip[p.Chip] = append(byChip[p.Chip], p)
+	}
+	for chip, series := range byChip {
+		for i := 1; i < len(series); i++ {
+			if series[i].PeakC >= series[i-1].PeakC {
+				t.Errorf("%s: peak at h=%g (%.1f C) not below h=%g (%.1f C)",
+					chip, series[i].H, series[i].PeakC, series[i-1].H, series[i-1].PeakC)
+			}
+		}
+		// Diminishing returns: the drop from the last doubling is
+		// smaller than from the first.
+		first := series[0].PeakC - series[1].PeakC
+		last := series[len(series)-2].PeakC - series[len(series)-1].PeakC
+		if last >= first {
+			t.Errorf("%s: expected diminishing returns, first drop %.2f C, last %.2f C", chip, first, last)
+		}
+	}
+}
+
+// TestCalibIRDS2033 asserts the extension experiment's headline: the
+// projected 425 W CMP is uncoolable in air or with a cold plate at
+// any VFS step, while immersion still runs it — water fastest.
+func TestCalibIRDS2033(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	fs, err := IRDS2033()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.MaxChips("air") != 0 || fs.MaxChips("water-pipe") != 0 {
+		t.Errorf("air/pipe should fail even a single 425 W chip: air=%d pipe=%d",
+			fs.MaxChips("air"), fs.MaxChips("water-pipe"))
+	}
+	if fs.MaxChips("water") < 1 {
+		t.Fatal("water immersion must hold at least one projected chip")
+	}
+	if w, o := fs.Row("water")[0], fs.Row("mineral-oil")[0]; w <= o {
+		t.Errorf("water (%.1f GHz) must beat oil (%.1f GHz) on the projected chip", w, o)
+	}
+}
+
+// TestCalibSeasonal asserts the deployment study's shape: colder
+// water plans at least as fast a stack, so winter >= summer for every
+// body, and the deep lake (coldest) beats the chilled tank.
+func TestCalibSeasonal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := Seasonal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]SeasonalPoint{}
+	for _, p := range pts {
+		byKey[p.Body+"/"+p.Season] = p
+		if !p.Feasible {
+			t.Errorf("%s %s: 8-chip water stack should be feasible", p.Body, p.Season)
+		}
+	}
+	for _, body := range []string{"tokyo-bay", "river", "deep-lake"} {
+		if byKey[body+"/winter"].GHz < byKey[body+"/summer"].GHz {
+			t.Errorf("%s: winter (%.1f) slower than summer (%.1f)",
+				body, byKey[body+"/winter"].GHz, byKey[body+"/summer"].GHz)
+		}
+	}
+	if byKey["deep-lake/summer"].GHz < byKey["chilled-tank/summer"].GHz {
+		t.Error("6 C lake water must beat the 25 C chilled tank")
+	}
+}
+
+// TestCalibFlowSpeedShape asserts the Section 4.1 extension: planned
+// frequency is non-decreasing in pump speed and peak temperature
+// falls with h at the shared frequency plateau.
+func TestCalibFlowSpeedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := FlowSpeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].H <= pts[i-1].H {
+			t.Errorf("h must grow with speed: %.0f after %.0f", pts[i].H, pts[i-1].H)
+		}
+		if pts[i].GHz < pts[i-1].GHz {
+			t.Errorf("frequency fell with more flow: %.1f after %.1f", pts[i].GHz, pts[i-1].GHz)
+		}
+		if pts[i].GHz == pts[i-1].GHz && pts[i].PeakC >= pts[i-1].PeakC {
+			t.Errorf("at equal frequency more flow must run cooler: %.1f C after %.1f C",
+				pts[i].PeakC, pts[i-1].PeakC)
+		}
+	}
+	if pts[len(pts)-1].GHz <= pts[0].GHz {
+		t.Error("the fastest flow should buy at least one VFS step over the slowest")
+	}
+}
+
+// TestCalibLifetime asserts the reliability extension: at matched
+// 2.0 GHz, better coolants buy monotonically more silicon lifetime,
+// with water a large multiple of air.
+func TestCalibLifetime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := Lifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]LifetimePoint{}
+	for _, p := range pts {
+		byName[p.Coolant] = p
+	}
+	order := []string{"air", "water-pipe", "mineral-oil", "fluorinert", "water"}
+	for i := 1; i < len(order); i++ {
+		a, b := byName[order[i-1]], byName[order[i]]
+		if b.MTTFYears < a.MTTFYears {
+			t.Errorf("%s (%.1f y) must outlive %s (%.1f y)", order[i], b.MTTFYears, order[i-1], a.MTTFYears)
+		}
+	}
+	if gain := byName["water"].MTTFYears / byName["air"].MTTFYears; gain < 5 {
+		t.Errorf("water's lifetime multiple over air is only %.1fx", gain)
+	}
+}
+
+// TestCalibMicrochannel asserts the Section 5.1 comparison: channels
+// never lose to immersion and decouple frequency from stack depth.
+func TestCalibMicrochannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner sweeps are slow")
+	}
+	pts, err := Microchannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.ChannelGHz < p.ImmersionGHz {
+			t.Errorf("%d chips: channels (%.1f) lost to immersion (%.1f)", p.Chips, p.ChannelGHz, p.ImmersionGHz)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.ChannelGHz < first.ChannelGHz {
+		t.Errorf("channel frequency degraded with depth: %.1f -> %.1f", first.ChannelGHz, last.ChannelGHz)
+	}
+	if last.ImmersionGHz >= last.ChannelGHz {
+		t.Errorf("at %d chips channels must strictly win", last.Chips)
+	}
+}

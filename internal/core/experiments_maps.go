@@ -1,0 +1,69 @@
+package core
+
+import (
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// ThermalMap is the per-die temperature field of a solved stack, the
+// payload of Figures 9, 16 and 18.
+type ThermalMap struct {
+	Figure string
+	Chip   string
+	GHz    float64
+	Flip   bool
+	NX, NY int
+	// Dies[i] is die i's field (bottom first), row-major NX×NY.
+	Dies [][]float64
+	// MaxC / MinC per die, matching the figures' per-layer scales.
+	MaxC, MinC []float64
+}
+
+// dieMaps extracts per-die fields from a solved result.
+func dieMaps(figure string, chip power.Model, ghz float64, flip bool, res *thermal.Result) *ThermalMap {
+	n := stack.NumDies(res.Model)
+	tm := &ThermalMap{
+		Figure: figure, Chip: chip.Name, GHz: ghz, Flip: flip,
+		NX: res.Model.Grid.NX, NY: res.Model.Grid.NY,
+	}
+	for i := 0; i < n; i++ {
+		l := stack.DieLayer(i)
+		tm.Dies = append(tm.Dies, res.LayerMap(l))
+		tm.MaxC = append(tm.MaxC, res.LayerMax(l))
+		tm.MinC = append(tm.MinC, res.LayerMin(l))
+	}
+	return tm
+}
+
+// Fig9 reproduces Figure 9: thermal map of the 4-chip high-frequency
+// CMP at 3.6 GHz under water cooling (no rotation).
+func Fig9() (*ThermalMap, error) {
+	res, err := SolveMap(power.HighFrequency, 4, material.Water, 3.6e9, false)
+	if err != nil {
+		return nil, err
+	}
+	return dieMaps("fig9", power.HighFrequency, 3.6, false, res), nil
+}
+
+// Fig16 reproduces Figure 16: the same stack with even layers rotated
+// 180° ("flip").
+func Fig16() (*ThermalMap, error) {
+	res, err := SolveMap(power.HighFrequency, 4, material.Water, 3.6e9, true)
+	if err != nil {
+		return nil, err
+	}
+	return dieMaps("fig16", power.HighFrequency, 3.6, true, res), nil
+}
+
+// Fig18 reproduces Figure 18: the 4-chip Xeon Phi 7290 stack at
+// 1.2 GHz under water cooling, whose well-spread cores yield the
+// paper's most uniform map.
+func Fig18() (*ThermalMap, error) {
+	res, err := SolveMap(power.XeonPhi, 4, material.Water, 1.2e9, false)
+	if err != nil {
+		return nil, err
+	}
+	return dieMaps("fig18", power.XeonPhi, 1.2, false, res), nil
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's central methodology: choosing
+// the maximum operating frequency of a temperature-constrained 3-D
+// chip multiprocessor for a given coolant, by co-simulating the VFS
+// power model (internal/power, internal/mcpat) with the HotSpot-style
+// thermal solver (internal/thermal) over the compiled cooling stack
+// (internal/stack). It also hosts the experiment drivers that
+// regenerate every figure and table of the paper (experiments.go).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// Planner evaluates stack configurations against a temperature
+// threshold. The zero value is not usable; construct with NewPlanner.
+type Planner struct {
+	// Params is the stack geometry/material configuration.
+	Params stack.Params
+	// ThresholdC is the junction temperature limit; the paper
+	// conservatively uses 80 °C (78 °C for the Xeon E5 in Figure 1).
+	ThresholdC float64
+	// Flip rotates every even-numbered die (counting from the bottom,
+	// 0-based: dies 1, 3, 5, …) by 180°, the thermal-aware stacking
+	// layout of Section 4.2.
+	Flip bool
+	// LeakageAtThreshold makes the planner evaluate static power at
+	// the temperature threshold (worst case) instead of the chip's
+	// reference temperature. The paper's methodology is worst-case
+	// throughout, so this defaults to true in NewPlanner.
+	LeakageAtThreshold bool
+	// ConvergeLeakage iterates the leakage↔temperature fixed point
+	// instead of assuming a single leakage temperature: solve, feed
+	// the observed peak back into the static-power model, re-solve,
+	// until the peak moves less than half a degree. More accurate
+	// (and less conservative) than the worst-case default; an
+	// ablation knob for the methodology discussion in Section 4.3.
+	ConvergeLeakage bool
+}
+
+// NewPlanner returns a Planner with Table 2 parameters and the
+// paper's 80 °C threshold.
+func NewPlanner() *Planner {
+	return &Planner{
+		Params:             stack.DefaultParams(),
+		ThresholdC:         80,
+		LeakageAtThreshold: true,
+	}
+}
+
+// StackSpec identifies one simulation point.
+type StackSpec struct {
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	// FHz is the common operating frequency of every die.
+	FHz float64
+}
+
+// leakTemp returns the temperature at which static power is evaluated.
+func (p *Planner) leakTemp(m power.Model) float64 {
+	if p.LeakageAtThreshold {
+		return p.ThresholdC
+	}
+	return m.RefTempC
+}
+
+// Solve simulates one spec and returns the thermal field plus the VFS
+// step that produced it.
+func (p *Planner) Solve(spec StackSpec) (*thermal.Result, power.Step, error) {
+	if spec.Chips < 1 {
+		return nil, power.Step{}, fmt.Errorf("core: need at least one chip, got %d", spec.Chips)
+	}
+	step, err := spec.Chip.StepAt(spec.FHz)
+	if err != nil {
+		return nil, power.Step{}, err
+	}
+	solveAt := func(leakTemp float64) (*thermal.Result, error) {
+		base, err := mcpat.ChipAt(spec.Chip, step, leakTemp)
+		if err != nil {
+			return nil, err
+		}
+		flipped := base.Rotate180()
+		dies := make([]*floorplan.Floorplan, spec.Chips)
+		for i := range dies {
+			if p.Flip && i%2 == 1 {
+				dies[i] = flipped
+			} else {
+				dies[i] = base
+			}
+		}
+		model, err := stack.Build(stack.Config{Params: p.Params, Coolant: spec.Coolant, Dies: dies})
+		if err != nil {
+			return nil, err
+		}
+		return thermal.Solve(model, thermal.SolveOptions{})
+	}
+	if !p.ConvergeLeakage {
+		res, err := solveAt(p.leakTemp(spec.Chip))
+		return res, step, err
+	}
+	// Fixed point: leakage evaluated at the observed peak. The
+	// leakage coefficient (~1 %/°C) keeps the map a contraction for
+	// any stack the threshold would accept, so a handful of damped
+	// iterations converge.
+	leakTemp := spec.Chip.RefTempC
+	var res *thermal.Result
+	for iter := 0; iter < 8; iter++ {
+		res, err = solveAt(leakTemp)
+		if err != nil {
+			return nil, power.Step{}, err
+		}
+		peak := res.Max()
+		if math.Abs(peak-leakTemp) < 0.5 {
+			return res, step, nil
+		}
+		leakTemp = (leakTemp + peak) / 2
+	}
+	return res, step, nil
+}
+
+// PeakAt returns the peak junction temperature for a spec.
+func (p *Planner) PeakAt(spec StackSpec) (float64, error) {
+	res, _, err := p.Solve(spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.Max(), nil
+}
+
+// Plan is the outcome of a max-frequency search.
+type Plan struct {
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	// Feasible reports whether even the slowest VFS step meets the
+	// threshold. The figures leave infeasible points unplotted ("air
+	// cooling does not enable a 4-chip layout").
+	Feasible bool
+	// Step is the fastest admissible VFS step when Feasible.
+	Step power.Step
+	// PeakC is the peak temperature at Step.
+	PeakC float64
+}
+
+// FrequencyGHz returns the planned frequency, or 0 when infeasible.
+func (pl Plan) FrequencyGHz() float64 {
+	if !pl.Feasible {
+		return 0
+	}
+	return pl.Step.GHz()
+}
+
+// MaxFrequency finds the fastest VFS step whose steady-state peak
+// temperature stays at or below the threshold, assuming all chips run
+// at the same frequency (Section 3.2). Peak temperature is monotone
+// in the VFS step (higher frequency ⇒ higher voltage and power), so a
+// binary search over the table is exact.
+func (p *Planner) MaxFrequency(chip power.Model, chips int, coolant material.Coolant) (Plan, error) {
+	steps := chip.Steps()
+	if len(steps) == 0 {
+		return Plan{}, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
+	}
+	plan := Plan{Chip: chip, Chips: chips, Coolant: coolant}
+
+	peakAt := func(i int) (float64, error) {
+		return p.PeakAt(StackSpec{Chip: chip, Chips: chips, Coolant: coolant, FHz: steps[i].FHz})
+	}
+
+	// Infeasible if the slowest step already violates the threshold.
+	peak, err := peakAt(0)
+	if err != nil {
+		return Plan{}, err
+	}
+	if peak > p.ThresholdC {
+		return plan, nil
+	}
+	// lo is always admissible, hi (when in range) is not.
+	lo, hi := 0, len(steps)
+	loPeak := peak
+	if hi > 1 {
+		if peak, err = peakAt(len(steps) - 1); err != nil {
+			return Plan{}, err
+		}
+		if peak <= p.ThresholdC {
+			lo, loPeak = len(steps)-1, peak
+		} else {
+			hi = len(steps) - 1
+		}
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		peak, err := peakAt(mid)
+		if err != nil {
+			return Plan{}, err
+		}
+		if peak <= p.ThresholdC {
+			lo, loPeak = mid, peak
+		} else {
+			hi = mid
+		}
+	}
+	plan.Feasible = true
+	plan.Step = steps[lo]
+	plan.PeakC = loPeak
+	return plan, nil
+}
+
+// MaxFrequencySweep runs MaxFrequency for chip counts 1..maxChips and
+// every coolant in the given list, producing the data behind Figures
+// 1, 7, 8 and 17. The result is indexed [coolant][chips-1].
+func (p *Planner) MaxFrequencySweep(chip power.Model, maxChips int, coolants []material.Coolant) ([][]Plan, error) {
+	out := make([][]Plan, len(coolants))
+	for ci, c := range coolants {
+		out[ci] = make([]Plan, maxChips)
+		for n := 1; n <= maxChips; n++ {
+			pl, err := p.MaxFrequency(chip, n, c)
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep %s/%s/%d chips: %w", chip.Name, c.Name, n, err)
+			}
+			out[ci][n-1] = pl
+			// Once a chip count is infeasible, deeper stacks are
+			// strictly hotter; skip the remaining solves.
+			if !pl.Feasible {
+				for k := n + 1; k <= maxChips; k++ {
+					out[ci][k-1] = Plan{Chip: chip, Chips: k, Coolant: c}
+				}
+				break
+			}
+		}
+	}
+	return out, nil
+}

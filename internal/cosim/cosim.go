@@ -1,0 +1,352 @@
+// Package cosim couples the full-system performance simulator with
+// the transient thermal model at a fixed wall-clock interval — the
+// gem5 ↔ HotSpot transient co-simulation that the paper's worst-case
+// methodology deliberately avoids (Section 4.3) and its related work
+// discusses (3D-ICE, FloTHERM). Every interval:
+//
+//  1. the event kernel advances the workload by Δt of simulated time;
+//  2. the interval's architectural activity (instructions, cache and
+//     DRAM accesses, flit-hops) becomes dynamic power through the
+//     McPAT-style energy model, distributed over the floorplan with
+//     the activity split between core and memory components;
+//  3. the backward-Euler stepper advances the stack's temperature
+//     field by Δt;
+//  4. an optional core-DVFS governor throttles or restores the core
+//     clock against a temperature setpoint (the uncore keeps its
+//     construction clock, as on parts with a fixed uncore domain).
+//
+// The result is a time series of (frequency, power, peak temperature)
+// and a faithful answer to "does this workload actually hit the
+// worst-case temperature the static planner assumed?" — usually it
+// does not, which is the headroom DTM exploits.
+package cosim
+
+import (
+	"fmt"
+
+	"waterimm/internal/coherence"
+	"waterimm/internal/cpu"
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/npb"
+	"waterimm/internal/power"
+	"waterimm/internal/sim"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// DVFSPolicy throttles the core clock against a setpoint.
+type DVFSPolicy struct {
+	SetpointC   float64
+	HysteresisC float64
+}
+
+// Config describes a co-simulation run.
+type Config struct {
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	Params  stack.Params
+
+	Benchmark npb.Benchmark
+	Scale     float64
+	Seed      int64
+
+	// FHz is the initial (and uncore) frequency.
+	FHz float64
+	// IntervalS is the thermal coupling period in simulated seconds.
+	IntervalS float64
+	// DVFS, when non-nil, enables the governor.
+	DVFS *DVFSPolicy
+	// DurationS, when positive, loops the workload (each thread
+	// restarts its stream on completion, keeping the per-iteration
+	// barrier cadence identical across threads) and runs the
+	// co-simulation for this much simulated time. Scaled NPB classes
+	// finish in microseconds while package thermal constants are
+	// milliseconds to seconds; looping is how the trace reaches
+	// thermally interesting territory. Zero runs one pass.
+	DurationS float64
+	// MaxIntervals guards against runaway runs (0 = 1e6).
+	MaxIntervals int
+}
+
+// Sample is one coupling interval's record.
+type Sample struct {
+	TimeS    float64
+	FHz      float64
+	PeakC    float64
+	DynamicW float64
+	StaticW  float64
+	// IPS is the interval's aggregate instruction rate.
+	IPS float64
+}
+
+// loopStream restarts a per-thread stream each time it finishes,
+// bumping the seed per iteration so loops do not replay identical
+// address sequences. Every thread loops with the same per-iteration
+// barrier count, so barrier groups stay matched.
+type loopStream struct {
+	mk   func(iter int) cpu.Stream
+	iter int
+	cur  cpu.Stream
+	// Iterations counts completed passes.
+	Iterations int
+}
+
+func (l *loopStream) Next() cpu.Op {
+	op := l.cur.Next()
+	if op.Kind == cpu.OpDone {
+		l.Iterations++
+		l.iter++
+		l.cur = l.mk(l.iter)
+		return l.cur.Next()
+	}
+	return op
+}
+
+// Result is a completed co-simulation.
+type Result struct {
+	Samples []Sample
+	// Seconds is the workload's simulated execution time (for looped
+	// runs, the configured duration).
+	Seconds float64
+	// Iterations counts completed workload passes in looped mode.
+	Iterations int
+	// MaxPeakC is the hottest instant.
+	MaxPeakC float64
+	// SteadyPlannerPeakC is the worst-case steady-state peak the
+	// static methodology would have assumed for the same operating
+	// point, for comparison.
+	SteadyPlannerPeakC float64
+	// Throttles counts downward DVFS steps.
+	Throttles int
+	// MeanGHz is the time-average core frequency.
+	MeanGHz float64
+}
+
+// Run executes the co-simulation to workload completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("cosim: need at least one chip")
+	}
+	if cfg.IntervalS <= 0 {
+		return nil, fmt.Errorf("cosim: non-positive coupling interval")
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.MaxIntervals == 0 {
+		cfg.MaxIntervals = 1_000_000
+	}
+	if err := cfg.Benchmark.Validate(); err != nil {
+		return nil, err
+	}
+	steps := cfg.Chip.Steps()
+	stepIdx := -1
+	for i, s := range steps {
+		if s.FHz == cfg.FHz {
+			stepIdx = i
+		}
+	}
+	if stepIdx < 0 {
+		return nil, fmt.Errorf("cosim: %.2f GHz is not a VFS step of %s", cfg.FHz/1e9, cfg.Chip.Name)
+	}
+
+	// Performance side.
+	k := sim.NewKernel()
+	sys, err := coherence.New(k, coherence.DefaultConfig(cfg.Chips, cfg.FHz))
+	if err != nil {
+		return nil, err
+	}
+	threads := sys.Cfg.Cores()
+	clock := cpu.NewClock(cfg.FHz)
+	barrier := cpu.NewBarrierGroup(k, threads, sim.Time(120)*clock.Cycle())
+	cores := make([]*cpu.Core, threads)
+	loops := make([]*loopStream, threads)
+	for t := 0; t < threads; t++ {
+		var stream cpu.Stream
+		if cfg.DurationS > 0 {
+			t := t
+			ls := &loopStream{mk: func(iter int) cpu.Stream {
+				return cfg.Benchmark.Stream(t, threads, cfg.Seed+int64(iter), cfg.Scale)
+			}}
+			ls.cur = ls.mk(0)
+			loops[t] = ls
+			stream = ls
+		} else {
+			stream = cfg.Benchmark.Stream(t, threads, cfg.Seed, cfg.Scale)
+		}
+		cores[t] = cpu.NewCore(t, k, sys.L1s[t], clock, stream, barrier)
+		cores[t].Start()
+	}
+
+	// Thermal side: one shared floorplan drives every die layer.
+	fp, err := mcpat.ChipAt(cfg.Chip, steps[stepIdx], cfg.Params.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	dies := make([]*floorplan.Floorplan, cfg.Chips)
+	for i := range dies {
+		dies[i] = fp
+	}
+	model, err := stack.Build(stack.Config{Params: cfg.Params, Coolant: cfg.Coolant, Dies: dies})
+	if err != nil {
+		return nil, err
+	}
+	thermalSys, err := thermal.Assemble(model)
+	if err != nil {
+		return nil, err
+	}
+	stepper, err := thermal.NewStepper(thermalSys, cfg.IntervalS)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static-methodology reference point.
+	steadyRes, err := thermal.Solve(model, thermal.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{SteadyPlannerPeakC: steadyRes.Max()}
+
+	prev := activitySnapshot(sys, cores)
+	interval := sim.Time(cfg.IntervalS * float64(sim.Second))
+	var deadline sim.Time
+	var ghzSum float64
+	lastPeak := cfg.Params.AmbientC
+	for iter := 0; iter < cfg.MaxIntervals; iter++ {
+		deadline += interval
+		k.RunFor(deadline)
+
+		// Interval activity → power.
+		cur := activitySnapshot(sys, cores)
+		step := steps[stepIdx]
+		delta := diffActivity(cur, prev)
+		delta.Cycles = uint64(float64(interval) / float64(clock.Cycle()))
+		prev = cur
+		dyn := mcpat.DynamicPower(cfg.Chip, step, delta)
+		static := cfg.Chip.StaticAt(step, lastPeak) * float64(cfg.Chips)
+		perChip := dyn/float64(cfg.Chips) + static/float64(cfg.Chips)
+		if err := applyChipPower(model, fp, cfg, step, perChip); err != nil {
+			return nil, err
+		}
+		if err := thermalSys.UpdatePower(); err != nil {
+			return nil, err
+		}
+		peak, err := stepper.Run(1)
+		if err != nil {
+			return nil, err
+		}
+		lastPeak = peak
+
+		sample := Sample{
+			TimeS: stepper.Time(), FHz: step.FHz, PeakC: peak,
+			DynamicW: dyn, StaticW: static,
+			IPS: float64(delta.Instructions) / cfg.IntervalS,
+		}
+		res.Samples = append(res.Samples, sample)
+		ghzSum += step.GHz()
+		if peak > res.MaxPeakC {
+			res.MaxPeakC = peak
+		}
+
+		// Governor.
+		if cfg.DVFS != nil {
+			switch {
+			case peak > cfg.DVFS.SetpointC-cfg.DVFS.HysteresisC && stepIdx > 0:
+				stepIdx--
+				clock.SetFrequency(steps[stepIdx].FHz)
+				res.Throttles++
+			case peak < cfg.DVFS.SetpointC-3*cfg.DVFS.HysteresisC && stepIdx < len(steps)-1:
+				stepIdx++
+				clock.SetFrequency(steps[stepIdx].FHz)
+			}
+		}
+
+		if cfg.DurationS > 0 {
+			if stepper.Time() >= cfg.DurationS {
+				break
+			}
+		} else if allDone(cores) {
+			break
+		}
+	}
+	if cfg.DurationS > 0 {
+		res.Seconds = stepper.Time()
+		for _, ls := range loops {
+			res.Iterations += ls.Iterations
+		}
+	} else {
+		if !allDone(cores) {
+			return nil, fmt.Errorf("cosim: workload did not finish within %d intervals", cfg.MaxIntervals)
+		}
+		var finish sim.Time
+		for _, c := range cores {
+			if c.Stats.FinishedAt > finish {
+				finish = c.Stats.FinishedAt
+			}
+		}
+		res.Seconds = finish.Seconds()
+	}
+	if n := len(res.Samples); n > 0 {
+		res.MeanGHz = ghzSum / float64(n)
+	}
+	return res, nil
+}
+
+func allDone(cores []*cpu.Core) bool {
+	for _, c := range cores {
+		if !c.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// activitySnapshot gathers cumulative counters.
+func activitySnapshot(sys *coherence.System, cores []*cpu.Core) mcpat.Activity {
+	var a mcpat.Activity
+	for _, c := range cores {
+		a.Instructions += c.Stats.Instructions
+	}
+	for _, l1 := range sys.L1s {
+		a.L1Accesses += l1.Stats.Loads + l1.Stats.Stores
+	}
+	for _, b := range sys.Banks {
+		a.L2Accesses += b.Stats.GetS + b.Stats.GetM + b.Stats.PutM
+	}
+	for _, mc := range sys.MCs {
+		a.DRAMAccesses += mc.Stats.Reads + mc.Stats.Writes
+	}
+	a.NoCFlitHops = sys.Mesh.Stats.FlitHops
+	return a
+}
+
+func diffActivity(cur, prev mcpat.Activity) mcpat.Activity {
+	return mcpat.Activity{
+		Instructions: cur.Instructions - prev.Instructions,
+		L1Accesses:   cur.L1Accesses - prev.L1Accesses,
+		L2Accesses:   cur.L2Accesses - prev.L2Accesses,
+		DRAMAccesses: cur.DRAMAccesses - prev.DRAMAccesses,
+		NoCFlitHops:  cur.NoCFlitHops - prev.NoCFlitHops,
+	}
+}
+
+// applyChipPower distributes the measured per-chip power over the
+// floorplan (using the chip's component shares as the spatial prior)
+// and rewrites every die layer's map.
+func applyChipPower(model *thermal.Model, fp *floorplan.Floorplan, cfg Config, step power.Step, perChipW float64) error {
+	if err := mcpat.Assign(fp, cfg.Chip, step, cfg.Params.AmbientC); err != nil {
+		return err
+	}
+	if total := fp.TotalPower(); total > 0 {
+		fp.ScalePower(perChipW / total)
+	}
+	grid := model.Grid
+	m := fp.PowerMap(grid.NX, grid.NY, grid.W, grid.H)
+	for die := 0; die < cfg.Chips; die++ {
+		copy(model.Layers[stack.DieLayer(die)].Power, m)
+	}
+	return nil
+}

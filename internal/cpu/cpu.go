@@ -1,0 +1,239 @@
+// Package cpu models the in-order x86-64 cores of the baseline CMP
+// (Table 1): each core executes a stream of architectural operations
+// — compute bursts, loads, stores, OpenMP-style barriers — against
+// its private L1 from package coherence. Cores are blocking (one
+// outstanding memory access), which matches the simple timing model
+// the paper's gem5 configuration uses for its NPB runs.
+package cpu
+
+import (
+	"fmt"
+
+	"waterimm/internal/coherence"
+	"waterimm/internal/sim"
+)
+
+// OpKind enumerates stream operations.
+type OpKind int
+
+// Stream operation kinds.
+const (
+	OpCompute OpKind = iota // execute Cycles ALU/FPU cycles
+	OpLoad                  // read Addr
+	OpStore                 // write Addr
+	OpBarrier               // synchronise with all threads
+	OpDone                  // thread finished
+)
+
+// Op is one operation of a workload stream.
+type Op struct {
+	Kind   OpKind
+	Cycles uint32
+	Addr   uint64
+}
+
+// Stream produces a thread's operations. Implementations must be
+// deterministic for a given construction seed.
+type Stream interface {
+	Next() Op
+}
+
+// Clock is a shared, mutable core clock. Cores read it at every
+// compute burst, so a DVFS governor can retune the core frequency
+// mid-simulation (core-only DVFS: caches, directory and mesh keep
+// their construction-time uncore clock, as on real parts with a
+// fixed uncore domain).
+type Clock struct {
+	cycle sim.Time
+}
+
+// NewClock returns a clock at fHz.
+func NewClock(fHz float64) *Clock {
+	return &Clock{cycle: sim.Cycle(fHz)}
+}
+
+// Cycle returns the current cycle time.
+func (c *Clock) Cycle() sim.Time { return c.cycle }
+
+// SetFrequency retunes the clock.
+func (c *Clock) SetFrequency(fHz float64) { c.cycle = sim.Cycle(fHz) }
+
+// Stats counts a core's architectural activity.
+type Stats struct {
+	Instructions  uint64
+	ComputeCycles uint64
+	Loads, Stores uint64
+	BarrierWaits  uint64
+	// StallFS accumulates memory-stall time in femtoseconds.
+	StallFS uint64
+	// FinishedAt is the simulation time of OpDone.
+	FinishedAt sim.Time
+}
+
+// Core drives one hardware thread.
+type Core struct {
+	ID      int
+	kernel  *sim.Kernel
+	cache   *coherence.L1
+	clock   *Clock
+	stream  Stream
+	barrier *BarrierGroup
+	// memBarrier, when non-nil, replaces the idealised BarrierGroup
+	// with the in-memory sense-reversing barrier protocol.
+	memBarrier *MemBarrier
+	episode    uint64
+	Done       bool
+	Stats      Stats
+}
+
+// NewCore wires a core to its cache and barrier group.
+func NewCore(id int, k *sim.Kernel, cache *coherence.L1, clock *Clock, stream Stream, barrier *BarrierGroup) *Core {
+	return &Core{ID: id, kernel: k, cache: cache, clock: clock, stream: stream, barrier: barrier}
+}
+
+// UseMemBarrier switches the core to the memory-based barrier.
+func (c *Core) UseMemBarrier(mb *MemBarrier) { c.memBarrier = mb }
+
+// Start schedules the core's first fetch.
+func (c *Core) Start() {
+	c.kernel.After(0, c.step)
+}
+
+// step fetches and executes the next operation.
+func (c *Core) step() {
+	op := c.stream.Next()
+	switch op.Kind {
+	case OpCompute:
+		if op.Cycles == 0 {
+			op.Cycles = 1
+		}
+		// IPC 1 on compute bursts.
+		c.Stats.Instructions += uint64(op.Cycles)
+		c.Stats.ComputeCycles += uint64(op.Cycles)
+		c.kernel.After(sim.Time(op.Cycles)*c.clock.Cycle(), c.step)
+
+	case OpLoad, OpStore:
+		c.Stats.Instructions++
+		if op.Kind == OpLoad {
+			c.Stats.Loads++
+		} else {
+			c.Stats.Stores++
+		}
+		start := c.kernel.Now()
+		c.cache.Access(op.Addr, op.Kind == OpStore, func(uint64) {
+			c.Stats.StallFS += uint64(c.kernel.Now() - start)
+			c.step()
+		})
+
+	case OpBarrier:
+		c.Stats.BarrierWaits++
+		if c.memBarrier != nil {
+			ep := c.episode
+			c.episode++
+			c.memBarrier.Arrive(c, ep, c.step)
+			return
+		}
+		c.barrier.Arrive(c.step)
+
+	case OpDone:
+		c.Done = true
+		c.Stats.FinishedAt = c.kernel.Now()
+
+	default:
+		panic(fmt.Sprintf("cpu: core %d fetched unknown op kind %d", c.ID, op.Kind))
+	}
+}
+
+// BarrierGroup implements an OpenMP-style barrier across n threads.
+// The synchronisation fabric itself is idealised: the last arrival
+// releases everyone after a fixed overhead (the cost of the real
+// flag-spinning protocol is dominated by the wait imbalance the model
+// does capture).
+type BarrierGroup struct {
+	kernel   *sim.Kernel
+	n        int
+	overhead sim.Time
+	waiting  []func()
+	// Episodes counts completed barrier episodes.
+	Episodes uint64
+}
+
+// NewBarrierGroup builds a barrier across n threads with the given
+// release overhead in femtoseconds.
+func NewBarrierGroup(k *sim.Kernel, n int, overhead sim.Time) *BarrierGroup {
+	if n < 1 {
+		panic("cpu: barrier group needs at least one thread")
+	}
+	return &BarrierGroup{kernel: k, n: n, overhead: overhead}
+}
+
+// Arrive registers a thread; when the n-th arrives, all resume.
+func (b *BarrierGroup) Arrive(resume func()) {
+	b.waiting = append(b.waiting, resume)
+	if len(b.waiting) < b.n {
+		return
+	}
+	released := b.waiting
+	b.waiting = nil
+	b.Episodes++
+	for _, fn := range released {
+		b.kernel.After(b.overhead, fn)
+	}
+}
+
+// MemBarrier is a centralised barrier implemented with real memory
+// operations through the coherence protocol — the faithful
+// counterpart of the idealised BarrierGroup. Each episode e uses two
+// fresh cache lines: a counter at CounterBase + e·64 that every
+// thread fetch-adds (stores carry fetch-add semantics in the
+// value-token protocol), and a release flag at FlagBase + e·64 that
+// the last arrival writes while everyone else spin-loads it with a
+// fixed backoff. Fresh lines per episode avoid the reset phase of a
+// classic sense-reversing barrier without changing its traffic
+// pattern: a migratory M line bouncing between arrivals, then an
+// invalidation broadcast when the flag is written.
+type MemBarrier struct {
+	Threads int
+	// CounterBase / FlagBase are line-aligned region bases.
+	CounterBase, FlagBase uint64
+	// SpinBackoffCycles separates polls of the release flag.
+	SpinBackoffCycles uint32
+	// Spins counts flag polls across all threads (contention metric).
+	Spins uint64
+}
+
+// NewMemBarrier places the barrier lines in a dedicated high region.
+func NewMemBarrier(threads int) *MemBarrier {
+	return &MemBarrier{
+		Threads:           threads,
+		CounterBase:       uint64(1) << 52,
+		FlagBase:          uint64(1)<<52 + uint64(1)<<32,
+		SpinBackoffCycles: 40,
+	}
+}
+
+// Arrive runs the barrier protocol for one thread of episode ep and
+// calls resume when released.
+func (b *MemBarrier) Arrive(c *Core, ep uint64, resume func()) {
+	counter := b.CounterBase + ep*64
+	flag := b.FlagBase + ep*64
+	c.cache.Access(counter, true, func(v uint64) {
+		if v == uint64(b.Threads) {
+			// Last arrival releases everyone.
+			c.cache.Access(flag, true, func(uint64) { resume() })
+			return
+		}
+		var spin func()
+		spin = func() {
+			b.Spins++
+			c.cache.Access(flag, false, func(fv uint64) {
+				if fv > 0 {
+					resume()
+					return
+				}
+				c.kernel.After(sim.Time(b.SpinBackoffCycles)*c.clock.Cycle(), spin)
+			})
+		}
+		spin()
+	})
+}

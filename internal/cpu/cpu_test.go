@@ -1,0 +1,164 @@
+package cpu
+
+import (
+	"testing"
+
+	"waterimm/internal/coherence"
+	"waterimm/internal/sim"
+)
+
+// scripted is a fixed-op Stream for tests.
+type scripted struct {
+	ops []Op
+	i   int
+}
+
+func (s *scripted) Next() Op {
+	if s.i >= len(s.ops) {
+		return Op{Kind: OpDone}
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op
+}
+
+func rig(t *testing.T, streams []Stream, barrierOverhead sim.Time) (*sim.Kernel, []*Core) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys, err := coherence.New(k, coherence.DefaultConfig(1, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewClock(2.0e9)
+	bg := NewBarrierGroup(k, len(streams), barrierOverhead)
+	var cores []*Core
+	for i, s := range streams {
+		c := NewCore(i, k, sys.L1s[i], clock, s, bg)
+		c.Start()
+		cores = append(cores, c)
+	}
+	return k, cores
+}
+
+func TestComputeTiming(t *testing.T) {
+	k, cores := rig(t, []Stream{&scripted{ops: []Op{
+		{Kind: OpCompute, Cycles: 100},
+		{Kind: OpCompute, Cycles: 50},
+	}}}, 0)
+	k.Run(nil)
+	c := cores[0]
+	if !c.Done {
+		t.Fatal("core never finished")
+	}
+	want := sim.Time(150) * sim.Cycle(2.0e9)
+	if c.Stats.FinishedAt != want {
+		t.Errorf("finished at %d fs, want %d", c.Stats.FinishedAt, want)
+	}
+	if c.Stats.Instructions != 150 || c.Stats.ComputeCycles != 150 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestMemoryOpsThroughCache(t *testing.T) {
+	k, cores := rig(t, []Stream{&scripted{ops: []Op{
+		{Kind: OpStore, Addr: 0x100},
+		{Kind: OpLoad, Addr: 0x100},
+		{Kind: OpLoad, Addr: 0x2000},
+	}}}, 0)
+	k.Run(nil)
+	c := cores[0]
+	if !c.Done {
+		t.Fatal("core never finished")
+	}
+	if c.Stats.Loads != 2 || c.Stats.Stores != 1 {
+		t.Errorf("memory op counts: %+v", c.Stats)
+	}
+	if c.Stats.StallFS == 0 {
+		t.Error("cold misses must stall the core")
+	}
+}
+
+func TestZeroCycleComputeStillProgresses(t *testing.T) {
+	k, cores := rig(t, []Stream{&scripted{ops: []Op{
+		{Kind: OpCompute, Cycles: 0},
+	}}}, 0)
+	k.Run(nil)
+	if !cores[0].Done {
+		t.Fatal("zero-cycle burst wedged the core")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	// Thread 0 computes 1000 cycles before the barrier, thread 1
+	// arrives immediately: both must resume at the same time, after
+	// the slowest arrival.
+	streams := []Stream{
+		&scripted{ops: []Op{{Kind: OpCompute, Cycles: 1000}, {Kind: OpBarrier}, {Kind: OpCompute, Cycles: 1}}},
+		&scripted{ops: []Op{{Kind: OpBarrier}, {Kind: OpCompute, Cycles: 1}}},
+	}
+	overhead := sim.Time(100) * sim.Cycle(2.0e9)
+	k, cores := rig(t, streams, overhead)
+	k.Run(nil)
+	cycle := sim.Cycle(2.0e9)
+	want := 1000*cycle + overhead + cycle
+	for _, c := range cores {
+		if !c.Done {
+			t.Fatal("deadlock")
+		}
+		if c.Stats.FinishedAt != want {
+			t.Errorf("core %d finished at %d, want %d", c.ID, c.Stats.FinishedAt, want)
+		}
+		if c.Stats.BarrierWaits != 1 {
+			t.Errorf("core %d barrier count %d", c.ID, c.Stats.BarrierWaits)
+		}
+	}
+}
+
+func TestBarrierMultipleEpisodes(t *testing.T) {
+	mk := func() Stream {
+		return &scripted{ops: []Op{
+			{Kind: OpBarrier}, {Kind: OpCompute, Cycles: 10},
+			{Kind: OpBarrier}, {Kind: OpCompute, Cycles: 10},
+			{Kind: OpBarrier},
+		}}
+	}
+	k := sim.NewKernel()
+	sys, err := coherence.New(k, coherence.DefaultConfig(1, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := NewBarrierGroup(k, 3, 0)
+	clock := NewClock(2.0e9)
+	for i := 0; i < 3; i++ {
+		c := NewCore(i, k, sys.L1s[i], clock, mk(), bg)
+		c.Start()
+	}
+	k.Run(nil)
+	if bg.Episodes != 3 {
+		t.Errorf("barrier episodes %d, want 3", bg.Episodes)
+	}
+}
+
+func TestBarrierGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty barrier group")
+		}
+	}()
+	NewBarrierGroup(sim.NewKernel(), 0, 0)
+}
+
+func TestDoubleAccessPanics(t *testing.T) {
+	k := sim.NewKernel()
+	sys, err := coherence.New(k, coherence.DefaultConfig(1, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.L1s[0].Access(0x40, false, func(uint64) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on overlapping access from a blocking core")
+		}
+	}()
+	sys.L1s[0].Access(0x80, false, func(uint64) {})
+}

@@ -1,0 +1,204 @@
+// Package dtm implements dynamic thermal management — the runtime
+// counterpart of the paper's worst-case static planning (discussed in
+// Section 5.2): a DVFS controller samples the transient thermal model
+// of a 3-D stack at a fixed control period and steps the VFS
+// operating point up or down to keep the peak junction temperature at
+// a setpoint. The paper notes its design-time analysis is orthogonal
+// to DTM; this package makes the comparison executable — DTM
+// sustains a higher *average* frequency than the static worst-case
+// plan because it can exploit thermal capacitance during bursts.
+package dtm
+
+import (
+	"fmt"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// Controller is a hysteresis DVFS governor over a transient stack
+// model.
+type Controller struct {
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	Params  stack.Params
+	// SetpointC is the target peak temperature; Hysteresis the dead
+	// band around it.
+	SetpointC   float64
+	HysteresisC float64
+	// PeriodS is the control period in seconds.
+	PeriodS float64
+	// SubSteps integrates the thermal model this many backward-Euler
+	// steps per control period.
+	SubSteps int
+	// Utilisation, when in [0,1), duty-cycles the workload: the chip
+	// dissipates full VFS power for that fraction of each period and
+	// idle (static-only) power otherwise. 1 means a steady stress
+	// load.
+	Utilisation float64
+}
+
+// NewController returns a governor with sensible defaults: the
+// paper's 80 °C limit, 2 °C hysteresis, 10 ms control period.
+func NewController(chip power.Model, chips int, coolant material.Coolant) *Controller {
+	return &Controller{
+		Chip: chip, Chips: chips, Coolant: coolant,
+		Params:      stack.DefaultParams(),
+		SetpointC:   80,
+		HysteresisC: 2,
+		PeriodS:     0.01,
+		SubSteps:    2,
+		Utilisation: 1,
+	}
+}
+
+// Sample is one control-period record.
+type Sample struct {
+	TimeS  float64
+	FHz    float64
+	PeakC  float64
+	PowerW float64
+}
+
+// Trace is a controller run.
+type Trace struct {
+	Samples []Sample
+	// MeanGHz is the time-average frequency over the run.
+	MeanGHz float64
+	// MaxPeakC is the hottest instant observed.
+	MaxPeakC float64
+	// Violations counts samples above the setpoint.
+	Violations int
+}
+
+// Run simulates the governor for the given duration, starting cold at
+// the chip's maximum VFS step.
+func (c *Controller) Run(durationS float64) (*Trace, error) {
+	if c.Chips < 1 {
+		return nil, fmt.Errorf("dtm: need at least one chip")
+	}
+	if c.PeriodS <= 0 || durationS <= 0 {
+		return nil, fmt.Errorf("dtm: non-positive period or duration")
+	}
+	if c.SubSteps < 1 {
+		c.SubSteps = 1
+	}
+	steps := c.Chip.Steps()
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("dtm: empty VFS table")
+	}
+	idx := len(steps) - 1 // start at fmax; the governor will back off
+
+	// Build the stack once at the max step; only the power maps
+	// change between control periods.
+	fp, err := mcpat.ChipAt(c.Chip, steps[idx], c.Params.AmbientC)
+	if err != nil {
+		return nil, err
+	}
+	dies := make([]*floorplan.Floorplan, c.Chips)
+	for i := range dies {
+		dies[i] = fp
+	}
+	model, err := stack.Build(stack.Config{Params: c.Params, Coolant: c.Coolant, Dies: dies})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := thermal.Assemble(model)
+	if err != nil {
+		return nil, err
+	}
+	stepper, err := thermal.NewStepper(sys, c.PeriodS/float64(c.SubSteps))
+	if err != nil {
+		return nil, err
+	}
+
+	trace := &Trace{}
+	n := int(durationS / c.PeriodS)
+	var ghzSum float64
+	for i := 0; i < n; i++ {
+		// Apply the current step's power to every die, evaluating
+		// leakage at the last observed peak.
+		step := steps[idx]
+		peakGuess := c.Params.AmbientC
+		if len(trace.Samples) > 0 {
+			peakGuess = trace.Samples[len(trace.Samples)-1].PeakC
+		}
+		if err := c.applyPower(model, fp, step, peakGuess); err != nil {
+			return nil, err
+		}
+		if err := sys.UpdatePower(); err != nil {
+			return nil, err
+		}
+		peak, err := stepper.Run(c.SubSteps)
+		if err != nil {
+			return nil, err
+		}
+		s := Sample{
+			TimeS:  stepper.Time(),
+			FHz:    step.FHz,
+			PeakC:  peak,
+			PowerW: c.effectivePower(step, peakGuess) * float64(c.Chips),
+		}
+		trace.Samples = append(trace.Samples, s)
+		ghzSum += step.GHz()
+		if peak > trace.MaxPeakC {
+			trace.MaxPeakC = peak
+		}
+		if peak > c.SetpointC {
+			trace.Violations++
+		}
+		// Hysteresis governor.
+		switch {
+		case peak > c.SetpointC-c.HysteresisC && idx > 0:
+			idx--
+		case peak < c.SetpointC-3*c.HysteresisC && idx < len(steps)-1:
+			idx++
+		}
+	}
+	if n > 0 {
+		trace.MeanGHz = ghzSum / float64(n)
+	}
+	return trace, nil
+}
+
+// effectivePower returns the per-chip power of a step under the
+// configured duty cycle, with leakage evaluated at tempC.
+func (c *Controller) effectivePower(step power.Step, tempC float64) float64 {
+	util := c.Utilisation
+	if util <= 0 || util > 1 {
+		util = 1
+	}
+	return step.DynamicW*util + c.Chip.StaticAt(step, tempC)
+}
+
+// applyPower rewrites every die layer's power map for the new
+// operating point.
+func (c *Controller) applyPower(model *thermal.Model, fp *floorplan.Floorplan, step power.Step, tempC float64) error {
+	if err := mcpat.Assign(fp, c.Chip, step, tempC); err != nil {
+		return err
+	}
+	util := c.Utilisation
+	if util <= 0 || util > 1 {
+		util = 1
+	}
+	if util < 1 {
+		// Duty-cycle only the dynamic share: scale unit powers so the
+		// chip total matches the effective power.
+		total := fp.TotalPower()
+		want := c.effectivePower(step, tempC)
+		if total > 0 {
+			fp.ScalePower(want / total)
+		}
+	}
+	grid := model.Grid
+	m := fp.PowerMap(grid.NX, grid.NY, grid.W, grid.H)
+	for die := 0; die < c.Chips; die++ {
+		copy(model.Layers[stack.DieLayer(die)].Power, m)
+	}
+	return nil
+}

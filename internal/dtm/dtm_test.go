@@ -1,0 +1,102 @@
+package dtm
+
+import (
+	"testing"
+
+	"waterimm/internal/core"
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+)
+
+// coarse shrinks the solver grid for test speed.
+func coarse(c *Controller) *Controller {
+	c.Params.GridNX, c.Params.GridNY = 16, 16
+	return c
+}
+
+func TestGovernorHoldsSetpoint(t *testing.T) {
+	c := coarse(NewController(power.HighFrequency, 4, material.Water))
+	c.PeriodS = 0.05
+	trace, err := c.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// The governor may overshoot transiently but must keep the bulk
+	// of samples under the setpoint and stay within a few degrees of
+	// it at worst.
+	if trace.MaxPeakC > c.SetpointC+6 {
+		t.Errorf("peak %.1f C overshoots the %.0f C setpoint badly", trace.MaxPeakC, c.SetpointC)
+	}
+	if frac := float64(trace.Violations) / float64(len(trace.Samples)); frac > 0.25 {
+		t.Errorf("%.0f%% of samples above setpoint", frac*100)
+	}
+	if trace.MeanGHz <= 0 {
+		t.Error("no frequency recorded")
+	}
+}
+
+func TestDTMBeatsStaticWorstCase(t *testing.T) {
+	// The motivating comparison: the static planner must assume the
+	// steady-state worst case, while DTM rides the thermal
+	// capacitance and the actual duty cycle. Under a 60 % utilisation
+	// workload DTM's mean frequency must be at least the static plan.
+	chip := power.HighFrequency
+	coolant := material.Water
+	const chips = 6
+
+	planner := core.NewPlanner()
+	plan, err := planner.MaxFrequency(chip, chips, coolant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatal("static plan infeasible")
+	}
+
+	c := coarse(NewController(chip, chips, coolant))
+	c.PeriodS = 0.05
+	c.Utilisation = 0.6
+	trace, err := c.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("static plan %.1f GHz, DTM mean %.2f GHz (max peak %.1f C)",
+		plan.Step.GHz(), trace.MeanGHz, trace.MaxPeakC)
+	if trace.MeanGHz < plan.Step.GHz()-0.05 {
+		t.Errorf("DTM mean %.2f GHz below the static plan %.2f GHz", trace.MeanGHz, plan.Step.GHz())
+	}
+}
+
+func TestGovernorBacksOffUnderAir(t *testing.T) {
+	// Air cannot hold a 4-chip stack at fmax: the governor must land
+	// on a lower step rather than oscillate at the top.
+	c := coarse(NewController(power.HighFrequency, 4, material.Air))
+	c.PeriodS = 0.05
+	trace, err := c.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := trace.Samples[len(trace.Samples)-1]
+	if last.FHz >= power.HighFrequency.FMaxHz {
+		t.Errorf("air-cooled governor still at fmax with peak %.1f C", last.PeakC)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := NewController(power.LowPower, 0, material.Water)
+	if _, err := c.Run(1); err == nil {
+		t.Error("expected error for zero chips")
+	}
+	c = NewController(power.LowPower, 2, material.Water)
+	c.PeriodS = 0
+	if _, err := c.Run(1); err == nil {
+		t.Error("expected error for zero period")
+	}
+	c = NewController(power.LowPower, 2, material.Water)
+	if _, err := c.Run(0); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}

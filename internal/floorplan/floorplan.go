@@ -1,0 +1,239 @@
+// Package floorplan models 2-D chip floorplans: named rectangular
+// units with assigned power, rasterisation onto thermal-solver grids,
+// and the 180° chip rotation ("flip") transformation the paper uses
+// for thermal-aware 3-D stacking (Section 4.2).
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Unit is one named rectangle of a floorplan. Coordinates are metres
+// with the origin at the chip's lower-left corner.
+type Unit struct {
+	Name       string
+	X, Y, W, H float64
+	// PowerW is the total power dissipated uniformly over the unit.
+	PowerW float64
+	// Kind tags the unit class ("core", "l2", "router", "mc", "misc")
+	// for power assignment and reporting.
+	Kind string
+}
+
+// Area returns the unit area in m².
+func (u Unit) Area() float64 { return u.W * u.H }
+
+// Density returns the unit power density in W/m².
+func (u Unit) Density() float64 {
+	if a := u.Area(); a > 0 {
+		return u.PowerW / a
+	}
+	return 0
+}
+
+// Floorplan is a rectangular chip outline filled with units.
+type Floorplan struct {
+	Name string
+	// W, H are the chip dimensions in metres.
+	W, H  float64
+	Units []Unit
+}
+
+// Clone returns a deep copy of the floorplan.
+func (f *Floorplan) Clone() *Floorplan {
+	g := &Floorplan{Name: f.Name, W: f.W, H: f.H, Units: make([]Unit, len(f.Units))}
+	copy(g.Units, f.Units)
+	return g
+}
+
+// Area returns the chip area in m².
+func (f *Floorplan) Area() float64 { return f.W * f.H }
+
+// TotalPower returns the sum of all unit powers in watts.
+func (f *Floorplan) TotalPower() float64 {
+	var p float64
+	for _, u := range f.Units {
+		p += u.PowerW
+	}
+	return p
+}
+
+// Validate checks that every unit lies inside the chip outline and
+// that no two units overlap (within a small tolerance).
+func (f *Floorplan) Validate() error {
+	const eps = 1e-9
+	if f.W <= 0 || f.H <= 0 {
+		return fmt.Errorf("floorplan %s: non-positive outline %gx%g", f.Name, f.W, f.H)
+	}
+	for i, u := range f.Units {
+		if u.W <= 0 || u.H <= 0 {
+			return fmt.Errorf("floorplan %s: unit %s has non-positive size", f.Name, u.Name)
+		}
+		if u.X < -eps || u.Y < -eps || u.X+u.W > f.W+eps || u.Y+u.H > f.H+eps {
+			return fmt.Errorf("floorplan %s: unit %s exceeds outline", f.Name, u.Name)
+		}
+		for j := i + 1; j < len(f.Units); j++ {
+			v := f.Units[j]
+			if u.X+u.W > v.X+eps && v.X+v.W > u.X+eps &&
+				u.Y+u.H > v.Y+eps && v.Y+v.H > u.Y+eps {
+				return fmt.Errorf("floorplan %s: units %s and %s overlap", f.Name, u.Name, v.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Rotate180 returns the floorplan rotated by 180°, the "flip" layout
+// applied to even layers in Section 4.2. (90° rotations are excluded
+// in the paper because rectangular chips would no longer stack.)
+func (f *Floorplan) Rotate180() *Floorplan {
+	g := f.Clone()
+	g.Name = f.Name + "+flip"
+	for i := range g.Units {
+		u := &g.Units[i]
+		u.X = f.W - u.X - u.W
+		u.Y = f.H - u.Y - u.H
+	}
+	return g
+}
+
+// MirrorX returns the floorplan mirrored across the vertical axis.
+// Used by the annealing floorplanner's move set.
+func (f *Floorplan) MirrorX() *Floorplan {
+	g := f.Clone()
+	g.Name = f.Name + "+mirrorx"
+	for i := range g.Units {
+		u := &g.Units[i]
+		u.X = f.W - u.X - u.W
+	}
+	return g
+}
+
+// ScalePower multiplies every unit power by k and returns the
+// floorplan (for chaining). Used when assigning a VFS step's power to
+// a layout built for unit (1 W) total power.
+func (f *Floorplan) ScalePower(k float64) *Floorplan {
+	for i := range f.Units {
+		f.Units[i].PowerW *= k
+	}
+	return f
+}
+
+// SetKindPower distributes totalW uniformly over all units of the
+// given kind.
+func (f *Floorplan) SetKindPower(kind string, totalW float64) {
+	var n int
+	for _, u := range f.Units {
+		if u.Kind == kind {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	per := totalW / float64(n)
+	for i := range f.Units {
+		if f.Units[i].Kind == kind {
+			f.Units[i].PowerW = per
+		}
+	}
+}
+
+// KindPower returns the total power of all units of the given kind.
+func (f *Floorplan) KindPower(kind string) float64 {
+	var p float64
+	for _, u := range f.Units {
+		if u.Kind == kind {
+			p += u.PowerW
+		}
+	}
+	return p
+}
+
+// PowerMap rasterises the floorplan's power onto an nx×ny grid
+// covering a w×h window centred on the chip. Each unit's power is
+// distributed over the grid cells it overlaps in proportion to the
+// overlap area, so the map conserves total power exactly (up to
+// floating-point rounding) for any grid resolution.
+func (f *Floorplan) PowerMap(nx, ny int, w, h float64) []float64 {
+	m := make([]float64, nx*ny)
+	if nx <= 0 || ny <= 0 || w <= 0 || h <= 0 {
+		return m
+	}
+	// Chip offset inside the window.
+	ox := (w - f.W) / 2
+	oy := (h - f.H) / 2
+	dx := w / float64(nx)
+	dy := h / float64(ny)
+	for _, u := range f.Units {
+		if u.PowerW == 0 {
+			continue
+		}
+		x0, y0 := u.X+ox, u.Y+oy
+		x1, y1 := x0+u.W, y0+u.H
+		i0 := clampInt(int(math.Floor(x0/dx)), 0, nx-1)
+		i1 := clampInt(int(math.Ceil(x1/dx))-1, 0, nx-1)
+		j0 := clampInt(int(math.Floor(y0/dy)), 0, ny-1)
+		j1 := clampInt(int(math.Ceil(y1/dy))-1, 0, ny-1)
+		density := u.PowerW / (u.W * u.H)
+		for j := j0; j <= j1; j++ {
+			cy0, cy1 := float64(j)*dy, float64(j+1)*dy
+			oyl := math.Min(y1, cy1) - math.Max(y0, cy0)
+			if oyl <= 0 {
+				continue
+			}
+			for i := i0; i <= i1; i++ {
+				cx0, cx1 := float64(i)*dx, float64(i+1)*dx
+				oxl := math.Min(x1, cx1) - math.Max(x0, cx0)
+				if oxl <= 0 {
+					continue
+				}
+				m[j*nx+i] += density * oxl * oyl
+			}
+		}
+	}
+	return m
+}
+
+// UnitByName returns a pointer to the named unit, or nil.
+func (f *Floorplan) UnitByName(name string) *Unit {
+	for i := range f.Units {
+		if f.Units[i].Name == name {
+			return &f.Units[i]
+		}
+	}
+	return nil
+}
+
+// String renders a short textual summary: outline, unit count, power.
+func (f *Floorplan) String() string {
+	return fmt.Sprintf("%s %.1fx%.1f mm, %d units, %.1f W",
+		f.Name, f.W*1e3, f.H*1e3, len(f.Units), f.TotalPower())
+}
+
+// Describe renders a sorted per-unit table for debugging and docs.
+func (f *Floorplan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%.2f x %.2f mm)\n", f.Name, f.W*1e3, f.H*1e3)
+	units := make([]Unit, len(f.Units))
+	copy(units, f.Units)
+	sort.Slice(units, func(i, j int) bool { return units[i].Name < units[j].Name })
+	for _, u := range units {
+		fmt.Fprintf(&b, "  %-10s %-7s at (%5.2f,%5.2f) mm  %5.2f x %5.2f mm  %6.3f W  %7.2f W/cm2\n",
+			u.Name, u.Kind, u.X*1e3, u.Y*1e3, u.W*1e3, u.H*1e3, u.PowerW, u.Density()/1e4)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,225 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutsValidate(t *testing.T) {
+	for _, name := range []string{"low-power", "high-frequency", "e5", "phi"} {
+		fp, err := ForModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ForModel("unknown"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestBaselineGeometry(t *testing.T) {
+	fp := Baseline16Tile()
+	// Table 1: 169 mm² die.
+	if math.Abs(fp.Area()-169e-6) > 1e-12 {
+		t.Errorf("baseline area %.2f mm2, want 169", fp.Area()*1e6)
+	}
+	counts := map[string]int{}
+	for _, u := range fp.Units {
+		counts[u.Kind]++
+	}
+	if counts["core"] != 4 || counts["l2"] != 12 || counts["router"] != 16 {
+		t.Errorf("baseline tile split: %v, want 4 cores / 12 L2 / 16 routers", counts)
+	}
+	// Figure 5 / Section 4.2: all four cores sit in the bottom tile
+	// row.
+	for _, u := range fp.Units {
+		if u.Kind == "core" && u.Y > fp.H/4 {
+			t.Errorf("core %s not in the bottom tile row (y=%.2f mm)", u.Name, u.Y*1e3)
+		}
+	}
+	// Units must tile the die exactly.
+	var area float64
+	for _, u := range fp.Units {
+		area += u.Area()
+	}
+	if math.Abs(area-fp.Area()) > 1e-12 {
+		t.Errorf("units cover %.2f mm2 of a %.2f mm2 die", area*1e6, fp.Area()*1e6)
+	}
+}
+
+func TestXeonLayouts(t *testing.T) {
+	e5 := XeonE5()
+	var cores int
+	for _, u := range e5.Units {
+		if u.Kind == "core" {
+			cores++
+		}
+	}
+	if cores != 8 {
+		t.Errorf("e5 has %d cores, want 8", cores)
+	}
+	phi := XeonPhi()
+	var tiles int
+	for _, u := range phi.Units {
+		if u.Kind == "core" {
+			tiles++
+		}
+	}
+	if tiles != 36 {
+		t.Errorf("phi has %d tiles, want 36", tiles)
+	}
+	if phi.Area() < 600e-6 {
+		t.Errorf("phi die suspiciously small: %.0f mm2", phi.Area()*1e6)
+	}
+}
+
+func TestRotate180Involution(t *testing.T) {
+	fp := Baseline16Tile()
+	fp.SetKindPower("core", 20)
+	rr := fp.Rotate180().Rotate180()
+	for i, u := range fp.Units {
+		v := rr.Units[i]
+		if math.Abs(u.X-v.X) > 1e-12 || math.Abs(u.Y-v.Y) > 1e-12 {
+			t.Fatalf("double rotation moved unit %s", u.Name)
+		}
+	}
+}
+
+func TestRotate180MovesCores(t *testing.T) {
+	fp := Baseline16Tile()
+	flipped := fp.Rotate180()
+	if err := flipped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cores move from the bottom row to the top row.
+	for _, u := range flipped.Units {
+		if u.Kind == "core" && u.Y < flipped.H*3/4-flipped.H/4 {
+			t.Errorf("flipped core %s still near the bottom (y=%.2f mm)", u.Name, u.Y*1e3)
+		}
+	}
+	if fp.TotalPower() != flipped.TotalPower() {
+		t.Error("rotation must conserve power")
+	}
+}
+
+func TestPowerMapConservation(t *testing.T) {
+	// Property: rasterisation conserves total power for random grids.
+	fp := Baseline16Tile()
+	fp.SetKindPower("core", 30)
+	fp.SetKindPower("l2", 12)
+	fp.SetKindPower("router", 5)
+	f := func(nxRaw, nyRaw uint8) bool {
+		nx := 4 + int(nxRaw)%61
+		ny := 4 + int(nyRaw)%61
+		m := fp.PowerMap(nx, ny, fp.W, fp.H)
+		var sum float64
+		for _, v := range m {
+			sum += v
+		}
+		return math.Abs(sum-fp.TotalPower()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerMapWindowLargerThanChip(t *testing.T) {
+	fp := Baseline16Tile()
+	fp.SetKindPower("core", 40)
+	m := fp.PowerMap(32, 32, fp.W*2, fp.H*2)
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	if math.Abs(sum-40) > 1e-9 {
+		t.Errorf("padded window lost power: %.3f of 40 W", sum)
+	}
+	// The chip sits centred: corners of the window must be cold.
+	if m[0] != 0 || m[31] != 0 || m[32*32-1] != 0 {
+		t.Error("window corners outside the chip must carry no power")
+	}
+}
+
+func TestPowerMapHotspotLocation(t *testing.T) {
+	fp := Baseline16Tile()
+	fp.SetKindPower("core", 40)
+	const n = 32
+	m := fp.PowerMap(n, n, fp.W, fp.H)
+	var bottom, top float64
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if j < n/4 {
+				bottom += m[j*n+i]
+			} else {
+				top += m[j*n+i]
+			}
+		}
+	}
+	if bottom <= top {
+		t.Errorf("cores are in the bottom row: bottom %.1f W vs top %.1f W", bottom, top)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	fp := &Floorplan{Name: "bad", W: 1e-2, H: 1e-2, Units: []Unit{
+		{Name: "a", X: 0, Y: 0, W: 6e-3, H: 6e-3},
+		{Name: "b", X: 5e-3, Y: 5e-3, W: 4e-3, H: 4e-3},
+	}}
+	if err := fp.Validate(); err == nil {
+		t.Error("expected overlap error")
+	}
+	fp2 := &Floorplan{Name: "oob", W: 1e-2, H: 1e-2, Units: []Unit{
+		{Name: "a", X: 8e-3, Y: 0, W: 4e-3, H: 4e-3},
+	}}
+	if err := fp2.Validate(); err == nil {
+		t.Error("expected out-of-bounds error")
+	}
+}
+
+func TestScaleAndKindPower(t *testing.T) {
+	fp := Baseline16Tile()
+	fp.SetKindPower("core", 40)
+	if got := fp.KindPower("core"); math.Abs(got-40) > 1e-12 {
+		t.Errorf("core power %.2f, want 40", got)
+	}
+	fp.ScalePower(0.5)
+	if got := fp.TotalPower(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("scaled power %.2f, want 20", got)
+	}
+	if u := fp.UnitByName("CORE1"); u == nil || u.PowerW <= 0 {
+		t.Error("UnitByName(CORE1) must find a powered core")
+	}
+	if fp.UnitByName("nope") != nil {
+		t.Error("unknown unit must return nil")
+	}
+}
+
+func TestMirrorXPreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fp := Baseline16Tile()
+	for i := range fp.Units {
+		fp.Units[i].PowerW = rng.Float64()
+	}
+	m := fp.MirrorX()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalPower()-fp.TotalPower()) > 1e-12 {
+		t.Error("mirror must conserve power")
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	fp := Baseline16Tile()
+	if s := fp.String(); s == "" {
+		t.Error("empty String()")
+	}
+	if d := fp.Describe(); len(d) < 100 {
+		t.Error("Describe() should list every unit")
+	}
+}

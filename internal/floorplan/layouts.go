@@ -1,0 +1,135 @@
+package floorplan
+
+import "fmt"
+
+// Baseline16Tile builds the 16-tile baseline CMP layout of Figure 5:
+// a 4×4 tile grid on a 13×13 mm die (169 mm², Table 1) with the four
+// processor cores occupying the bottom tile row and twelve L2 cache
+// banks filling the remaining tiles. Each tile also hosts a mesh
+// router, modelled as a thin strip on the tile's edge. Unit powers
+// are left at zero; use mcpat.Assign to distribute a VFS step's power.
+func Baseline16Tile() *Floorplan {
+	return Baseline16TileWithCores([]int{0, 1, 2, 3})
+}
+
+// Baseline16TileWithCores builds the 16-tile layout with the four
+// processor cores placed on the given tile indices (row-major, tile 0
+// at the lower-left). The placement optimizer in internal/thermopt
+// explores these assignments; the Figure 5 baseline is tiles 0-3.
+func Baseline16TileWithCores(coreTiles []int) *Floorplan {
+	const (
+		side     = 13e-3 // 13 mm
+		tiles    = 4
+		routerFr = 0.12 // router strip share of the tile edge
+	)
+	isCore := map[int]bool{}
+	for _, t := range coreTiles {
+		isCore[t] = true
+	}
+	tile := side / tiles
+	f := &Floorplan{Name: "baseline16", W: side, H: side}
+	coreN, l2N := 0, 0
+	for ty := 0; ty < tiles; ty++ {
+		for tx := 0; tx < tiles; tx++ {
+			x := float64(tx) * tile
+			y := float64(ty) * tile
+			id := ty*tiles + tx
+			var kind, name string
+			if isCore[id] {
+				coreN++
+				kind, name = "core", fmt.Sprintf("CORE%d", coreN)
+			} else {
+				kind, name = "l2", fmt.Sprintf("L2_%02d", l2N)
+				l2N++
+			}
+			// Router strip along the top edge of the tile.
+			rh := tile * routerFr
+			f.Units = append(f.Units,
+				Unit{Name: name, Kind: kind, X: x, Y: y, W: tile, H: tile - rh},
+				Unit{Name: fmt.Sprintf("R%02d", id), Kind: "router", X: x, Y: y + tile - rh, W: tile, H: rh},
+			)
+		}
+	}
+	return f
+}
+
+// XeonE5 builds a Xeon E5-2667v4-like layout derived from the die
+// photo the paper references: eight cores in two columns along the
+// die's left and right edges, a central shared LLC column, and the
+// system agent / memory controllers along the top edge. The die is
+// 15.2×16.2 mm ≈ 246 mm².
+func XeonE5() *Floorplan {
+	const (
+		w = 15.2e-3
+		h = 16.2e-3
+	)
+	f := &Floorplan{Name: "e5", W: w, H: h}
+	const (
+		saH   = 2.2e-3 // system agent strip height
+		colW  = 4.6e-3 // core column width
+		cores = 4      // per column
+	)
+	bodyH := h - saH
+	coreH := bodyH / cores
+	for i := 0; i < cores; i++ {
+		y := float64(i) * coreH
+		f.Units = append(f.Units,
+			Unit{Name: fmt.Sprintf("CORE%d", i+1), Kind: "core", X: 0, Y: y, W: colW, H: coreH},
+			Unit{Name: fmt.Sprintf("CORE%d", i+5), Kind: "core", X: w - colW, Y: y, W: colW, H: coreH},
+			Unit{Name: fmt.Sprintf("LLC%d", i+1), Kind: "l2", X: colW, Y: y, W: w - 2*colW, H: coreH},
+		)
+	}
+	f.Units = append(f.Units,
+		Unit{Name: "SA", Kind: "mc", X: 0, Y: bodyH, W: w, H: saH},
+	)
+	return f
+}
+
+// XeonPhi builds a Xeon Phi 7290-like layout: 36 dual-core tiles in a
+// 6×6 grid covering most of the 31.9×21.4 mm ≈ 683 mm² die, with MCDRAM
+// memory-controller strips on the left and right edges. The large,
+// uniformly spread core count is what gives the Phi its flat thermal
+// map (Figure 18).
+func XeonPhi() *Floorplan {
+	const (
+		w   = 31.9e-3
+		h   = 21.4e-3
+		mcW = 2.6e-3
+		nx  = 6
+		ny  = 6
+	)
+	f := &Floorplan{Name: "phi", W: w, H: h}
+	bodyW := w - 2*mcW
+	tw := bodyW / nx
+	th := h / ny
+	for ty := 0; ty < ny; ty++ {
+		for tx := 0; tx < nx; tx++ {
+			id := ty*nx + tx
+			f.Units = append(f.Units, Unit{
+				Name: fmt.Sprintf("TILE%02d", id), Kind: "core",
+				X: mcW + float64(tx)*tw, Y: float64(ty) * th, W: tw, H: th,
+			})
+		}
+	}
+	f.Units = append(f.Units,
+		Unit{Name: "MCDRAM_L", Kind: "mc", X: 0, Y: 0, W: mcW, H: h},
+		Unit{Name: "MCDRAM_R", Kind: "mc", X: w - mcW, Y: 0, W: mcW, H: h},
+	)
+	return f
+}
+
+// ForModel returns the floorplan associated with a chip model name as
+// used by package power ("low-power", "high-frequency", "e5", "phi").
+// The low-power and high-frequency CMPs share the baseline 16-tile
+// layout; they differ only in their VFS tables.
+func ForModel(name string) (*Floorplan, error) {
+	switch name {
+	case "low-power", "high-frequency", "irds2033":
+		return Baseline16Tile(), nil
+	case "e5":
+		return XeonE5(), nil
+	case "phi":
+		return XeonPhi(), nil
+	}
+	return nil, fmt.Errorf("floorplan: no layout for chip model %q", name)
+}

@@ -1,0 +1,176 @@
+// Package fullsys assembles the complete simulated machine — the
+// gem5 role in the paper's tool chain: N stacked chips of 4 cores +
+// 12 L2 banks each (Table 1), the MOESI directory hierarchy and 3-D
+// mesh from packages coherence and noc, and cpu cores executing the
+// synthetic NPB streams of package npb. Run returns the simulated
+// execution time plus the architectural activity counters the McPAT
+// model consumes.
+package fullsys
+
+import (
+	"fmt"
+
+	"waterimm/internal/coherence"
+	"waterimm/internal/cpu"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/noc"
+	"waterimm/internal/npb"
+	"waterimm/internal/sim"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Chips is the stack depth; threads = 4 × Chips (24 or 32 in the
+	// paper's 6- and 8-chip experiments).
+	Chips int
+	// FHz is the common operating frequency chosen by the planner.
+	FHz float64
+	// Benchmark is the workload.
+	Benchmark npb.Benchmark
+	// Scale multiplies the per-thread op count (1.0 = full class).
+	Scale float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// BarrierOverheadCycles is the idealised barrier release cost.
+	BarrierOverheadCycles int
+	// Prefetch enables the L1 next-line prefetcher (ablation knob;
+	// the Table 1 baseline runs without it).
+	Prefetch bool
+	// MemoryBarriers replaces the idealised barrier with the real
+	// in-memory sense-reversing protocol (ablation knob).
+	MemoryBarriers bool
+	// AffinityHome homes private-region lines on the owning thread's
+	// chip (NUCA ablation knob; the Table 1 baseline interleaves).
+	AffinityHome bool
+	// MaxEvents guards against runaway simulations (0 = default).
+	MaxEvents uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.BarrierOverheadCycles <= 0 {
+		c.BarrierOverheadCycles = 120
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 500_000_000
+	}
+	return c
+}
+
+// Result summarises a run.
+type Result struct {
+	Benchmark string
+	Chips     int
+	Threads   int
+	FHz       float64
+	// Seconds is the simulated execution time (last thread's finish).
+	Seconds float64
+	// Activity aggregates the counters for mcpat.DynamicPower.
+	Activity mcpat.Activity
+	// L1Hits / L1Misses aggregate over all cores.
+	L1Hits, L1Misses uint64
+	// Prefetches / PrefetchHits aggregate the next-line prefetcher's
+	// activity when enabled.
+	Prefetches, PrefetchHits uint64
+	// BarrierSpins counts release-flag polls when MemoryBarriers is
+	// enabled.
+	BarrierSpins uint64
+	// Barriers is the number of completed barrier episodes.
+	Barriers uint64
+	// NoC is the mesh's traffic summary.
+	NoC noc.Stats
+	// StallFraction is the mean share of core time spent in memory
+	// stalls — the quantity that caps frequency scaling for the
+	// memory-bound kernels.
+	StallFraction float64
+}
+
+// Run executes the configuration to completion.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Chips < 1 {
+		return Result{}, fmt.Errorf("fullsys: need at least one chip")
+	}
+	if err := cfg.Benchmark.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := sim.NewKernel()
+	ccfg := coherence.DefaultConfig(cfg.Chips, cfg.FHz)
+	ccfg.L1PrefetchNextLine = cfg.Prefetch
+	ccfg.AffinityHome = cfg.AffinityHome
+	sys, err := coherence.New(k, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	threads := sys.Cfg.Cores()
+	clock := cpu.NewClock(cfg.FHz)
+	barrier := cpu.NewBarrierGroup(k, threads, sim.Time(cfg.BarrierOverheadCycles)*clock.Cycle())
+	var memBarrier *cpu.MemBarrier
+	if cfg.MemoryBarriers {
+		memBarrier = cpu.NewMemBarrier(threads)
+	}
+	cores := make([]*cpu.Core, threads)
+	for t := 0; t < threads; t++ {
+		stream := cfg.Benchmark.Stream(t, threads, cfg.Seed, cfg.Scale)
+		cores[t] = cpu.NewCore(t, k, sys.L1s[t], clock, stream, barrier)
+		if memBarrier != nil {
+			cores[t].UseMemBarrier(memBarrier)
+		}
+		cores[t].Start()
+	}
+	for k.Step() {
+		if k.Executed > cfg.MaxEvents {
+			return Result{}, fmt.Errorf("fullsys: %s on %d chips exceeded %d events; likely livelock",
+				cfg.Benchmark.Name, cfg.Chips, cfg.MaxEvents)
+		}
+	}
+	res := Result{
+		Benchmark: cfg.Benchmark.Name,
+		Chips:     cfg.Chips,
+		Threads:   threads,
+		FHz:       cfg.FHz,
+		NoC:       sys.Mesh.Stats,
+		Barriers:  barrier.Episodes,
+	}
+	if memBarrier != nil {
+		res.BarrierSpins = memBarrier.Spins
+	}
+	var finish sim.Time
+	var stall, busy float64
+	for _, c := range cores {
+		if !c.Done {
+			return Result{}, fmt.Errorf("fullsys: core %d never finished (barrier deadlock?)", c.ID)
+		}
+		if c.Stats.FinishedAt > finish {
+			finish = c.Stats.FinishedAt
+		}
+		res.Activity.Instructions += c.Stats.Instructions
+		stall += float64(c.Stats.StallFS)
+		busy += float64(c.Stats.FinishedAt)
+	}
+	res.Seconds = finish.Seconds()
+	if busy > 0 {
+		res.StallFraction = stall / busy
+	}
+	for _, l1 := range sys.L1s {
+		res.Activity.L1Accesses += l1.Stats.Loads + l1.Stats.Stores
+		res.L1Hits += l1.Stats.Hits
+		res.L1Misses += l1.Stats.Misses
+		res.Prefetches += l1.Stats.Prefetches
+		res.PrefetchHits += l1.Stats.PrefetchHits
+	}
+	for _, b := range sys.Banks {
+		res.Activity.L2Accesses += b.Stats.GetS + b.Stats.GetM + b.Stats.PutM
+	}
+	for _, mc := range sys.MCs {
+		res.Activity.DRAMAccesses += mc.Stats.Reads + mc.Stats.Writes
+	}
+	res.Activity.NoCFlitHops = sys.Mesh.Stats.FlitHops
+	res.Activity.Cycles = uint64(float64(finish) / float64(clock.Cycle()))
+	if err := sys.CheckInvariants(); err != nil {
+		return Result{}, fmt.Errorf("fullsys: post-run invariant violation: %w", err)
+	}
+	return res, nil
+}

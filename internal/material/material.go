@@ -1,0 +1,120 @@
+// Package material defines the thermal properties of the solids and
+// coolants used throughout the water-immersion study: silicon dies,
+// copper spreaders and heatsinks, thermal interface material (TIM),
+// the parylene insulation film, printed circuit board laminate, and
+// the four coolants compared in the paper (air, mineral oil,
+// fluorinert, water) plus the closed-loop water-pipe cold plate.
+//
+// All values are in SI units: conductivity in W/(m·K), volumetric heat
+// capacity in J/(m³·K), heat transfer coefficients in W/(m²·K),
+// lengths in metres and temperatures in °C (offsets from ambient are
+// linear, so Kelvin and Celsius differences are interchangeable).
+package material
+
+import "fmt"
+
+// Solid describes a homogeneous solid material used in a package layer.
+type Solid struct {
+	Name string
+	// Conductivity is the thermal conductivity in W/(m·K).
+	Conductivity float64
+	// VolumetricHeatCapacity is ρ·c in J/(m³·K); used only by the
+	// transient solver.
+	VolumetricHeatCapacity float64
+}
+
+// Standard solids. Conductivities for silicon, copper and TIM follow
+// HotSpot 6.0 defaults and Table 2 of the paper; the parylene film is
+// the 0.14 W/(m·K) diX C Plus coating used on the prototypes.
+var (
+	Silicon = Solid{Name: "silicon", Conductivity: 100, VolumetricHeatCapacity: 1.75e6}
+	Copper  = Solid{Name: "copper", Conductivity: 400, VolumetricHeatCapacity: 3.55e6}
+	// TIM is the thermal grease / die-attach glue layer (Table 2:
+	// 20 µm at 0.25 W/(m·K)).
+	TIM = Solid{Name: "tim", Conductivity: 0.25, VolumetricHeatCapacity: 4.0e6}
+	// Parylene is the diX C Plus insulation film (Table 2: 120 µm at
+	// 0.14 W/(m·K)).
+	Parylene = Solid{Name: "parylene", Conductivity: 0.14, VolumetricHeatCapacity: 1.1e6}
+	// FR4 is standard motherboard laminate, used by the board-level
+	// prototype model.
+	FR4 = Solid{Name: "fr4", Conductivity: 0.3, VolumetricHeatCapacity: 1.6e6}
+	// Interposer is the high-conductivity redistribution layer that
+	// carries TSV/TCI vertical interconnect between stacked dies.
+	Interposer = Solid{Name: "interposer", Conductivity: 150, VolumetricHeatCapacity: 1.75e6}
+)
+
+// Coolant describes the fluid a cooled surface faces, reduced to the
+// convective film coefficient h used by HotSpot-style models. The
+// paper sets h to 14, 160, 180 and 800 W/(m²·K) for air, mineral oil,
+// fluorinert and water respectively (Section 3.2).
+type Coolant struct {
+	Name string
+	// H is the convective heat transfer coefficient in W/(m²·K).
+	H float64
+	// Immersive reports whether the coolant surrounds the whole board
+	// (immersion cooling) rather than only feeding the heatsink fins.
+	// Immersive coolants also cool the package sides, the exposed
+	// board area and every stacked die's lateral faces.
+	Immersive bool
+	// Dielectric reports whether bare electronics survive contact.
+	// Non-dielectric immersive coolants (water) require the parylene
+	// film, which adds its conduction resistance to every wetted path.
+	Dielectric bool
+	// UnitCostPerLitre is an indicative coolant cost in USD/L, used by
+	// the facility/PUE model (Section 4.4). Tap water is effectively
+	// free; fluorinert is notoriously expensive.
+	UnitCostPerLitre float64
+}
+
+// The coolant palette of the paper.
+var (
+	Air        = Coolant{Name: "air", H: 14, Immersive: false, Dielectric: true, UnitCostPerLitre: 0}
+	MineralOil = Coolant{Name: "mineral-oil", H: 160, Immersive: true, Dielectric: true, UnitCostPerLitre: 2.5}
+	Fluorinert = Coolant{Name: "fluorinert", H: 180, Immersive: true, Dielectric: true, UnitCostPerLitre: 220}
+	Water      = Coolant{Name: "water", H: 800, Immersive: true, Dielectric: false, UnitCostPerLitre: 0.002}
+	// WaterPipe models a typical closed-loop liquid CPU cooler that
+	// replaces the heatsink (Section 3.2). It is not an immersion
+	// option: heat must still conduct up through the stack to the
+	// cold plate, whose loop we reduce to an equivalent film
+	// coefficient over the cold-plate contact area.
+	WaterPipe = Coolant{Name: "water-pipe", H: 1800, Immersive: false, Dielectric: true, UnitCostPerLitre: 0.5}
+)
+
+// Coolants lists the five cooling options in the order the paper's
+// figures use.
+func Coolants() []Coolant {
+	return []Coolant{Air, WaterPipe, MineralOil, Fluorinert, Water}
+}
+
+// ImmersionCoolants lists only the immersion options.
+func ImmersionCoolants() []Coolant {
+	return []Coolant{MineralOil, Fluorinert, Water}
+}
+
+// ByName returns the coolant with the given name.
+func ByName(name string) (Coolant, error) {
+	for _, c := range Coolants() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Coolant{}, fmt.Errorf("material: unknown coolant %q", name)
+}
+
+// FilmResistance returns the conduction resistance in K/W of a film of
+// the given solid with thickness t (m) and cross-section area a (m²).
+func FilmResistance(s Solid, t, a float64) float64 {
+	if t <= 0 || a <= 0 || s.Conductivity <= 0 {
+		return 0
+	}
+	return t / (s.Conductivity * a)
+}
+
+// ConvectionResistance returns the film resistance 1/(h·A) in K/W for
+// a surface of area a (m²) facing the coolant.
+func ConvectionResistance(c Coolant, a float64) float64 {
+	if c.H <= 0 || a <= 0 {
+		return 0
+	}
+	return 1 / (c.H * a)
+}

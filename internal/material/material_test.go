@@ -1,0 +1,112 @@
+package material
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoolantPaletteMatchesPaper(t *testing.T) {
+	// Section 3.2 fixes the heat transfer coefficients.
+	want := map[string]float64{"air": 14, "mineral-oil": 160, "fluorinert": 180, "water": 800}
+	for name, h := range want {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.H != h {
+			t.Errorf("%s: h = %g, want %g", name, c.H, h)
+		}
+	}
+}
+
+func TestCoolantOrdering(t *testing.T) {
+	cs := Coolants()
+	if len(cs) != 5 {
+		t.Fatalf("expected 5 cooling options, got %d", len(cs))
+	}
+	if cs[0].Name != "air" || cs[len(cs)-1].Name != "water" {
+		t.Errorf("figure order should run air..water, got %s..%s", cs[0].Name, cs[len(cs)-1].Name)
+	}
+}
+
+func TestCoolantProperties(t *testing.T) {
+	for _, c := range Coolants() {
+		if c.H <= 0 {
+			t.Errorf("%s: non-positive h", c.Name)
+		}
+	}
+	if Water.Dielectric {
+		t.Error("tap water must not be dielectric; that is the whole point of the film")
+	}
+	if !MineralOil.Dielectric || !Fluorinert.Dielectric {
+		t.Error("oil and fluorinert are dielectric immersion coolants")
+	}
+	if Air.Immersive || WaterPipe.Immersive {
+		t.Error("air and water-pipe are not immersion options")
+	}
+	for _, c := range ImmersionCoolants() {
+		if !c.Immersive {
+			t.Errorf("%s listed as immersion coolant but not immersive", c.Name)
+		}
+	}
+	if Fluorinert.UnitCostPerLitre <= MineralOil.UnitCostPerLitre {
+		t.Error("fluorinert must cost more than mineral oil")
+	}
+	if Water.UnitCostPerLitre >= MineralOil.UnitCostPerLitre {
+		t.Error("tap water must be the cheapest liquid coolant")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("liquid-nitrogen"); err == nil {
+		t.Fatal("expected an error for an unknown coolant")
+	}
+}
+
+func TestFilmResistanceAnalytic(t *testing.T) {
+	// Table 2's parylene film over 1 cm²: R = t/(kA).
+	r := FilmResistance(Parylene, 120e-6, 1e-4)
+	want := 120e-6 / (0.14 * 1e-4)
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("film resistance %g, want %g", r, want)
+	}
+	if FilmResistance(Parylene, 0, 1) != 0 || FilmResistance(Parylene, 1, 0) != 0 {
+		t.Error("degenerate film must have zero resistance")
+	}
+}
+
+func TestConvectionResistanceAnalytic(t *testing.T) {
+	// The paper's headline sink number: water over 0.3024 m².
+	r := ConvectionResistance(Water, 0.3024)
+	want := 1 / (800.0 * 0.3024)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("convection resistance %g, want %g", r, want)
+	}
+}
+
+func TestFilmResistanceScaling(t *testing.T) {
+	// Property: doubling thickness doubles resistance; doubling area
+	// halves it.
+	f := func(tRaw, aRaw uint16) bool {
+		th := 1e-6 + float64(tRaw)*1e-8
+		a := 1e-6 + float64(aRaw)*1e-7
+		r := FilmResistance(TIM, th, a)
+		return math.Abs(FilmResistance(TIM, 2*th, a)-2*r) < 1e-9*r+1e-15 &&
+			math.Abs(FilmResistance(TIM, th, 2*a)-r/2) < 1e-9*r+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolidConstants(t *testing.T) {
+	for _, s := range []Solid{Silicon, Copper, TIM, Parylene, FR4, Interposer} {
+		if s.Conductivity <= 0 || s.VolumetricHeatCapacity <= 0 {
+			t.Errorf("%s: non-physical constants", s.Name)
+		}
+	}
+	if !(Copper.Conductivity > Silicon.Conductivity && Silicon.Conductivity > TIM.Conductivity && TIM.Conductivity > Parylene.Conductivity) {
+		t.Error("solid conductivity ordering violated")
+	}
+}

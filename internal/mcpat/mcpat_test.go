@@ -1,0 +1,200 @@
+package mcpat
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"waterimm/internal/power"
+)
+
+func TestSharesSumToOne(t *testing.T) {
+	for _, name := range []string{"low-power", "high-frequency", "e5", "phi"} {
+		s, err := SharesFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := SharesFor("z80"); err == nil {
+		t.Error("expected error for unknown chip")
+	}
+}
+
+func TestSharesValidateCatchesErrors(t *testing.T) {
+	bad := Shares{{Kind: "core", Dynamic: 0.5, Static: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected sum error")
+	}
+	neg := Shares{{Kind: "core", Dynamic: -0.5, Static: 1}, {Kind: "l2", Dynamic: 1.5, Static: 0}}
+	if err := neg.Validate(); err == nil {
+		t.Error("expected negativity error")
+	}
+}
+
+func TestAssignConservesPower(t *testing.T) {
+	for _, m := range power.Models() {
+		s, err := m.StepAt(m.FMaxHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := ChipAt(m, s, m.RefTempC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.DynamicW + m.StaticAt(s, m.RefTempC)
+		if got := fp.TotalPower(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: floorplan carries %.3f W, step dissipates %.3f W", m.Name, got, want)
+		}
+	}
+}
+
+func TestCoreDensityExceedsL2(t *testing.T) {
+	// The premise behind the thermal maps: cores run hotter than the
+	// cache (Figure 9).
+	m := power.HighFrequency
+	s, _ := m.StepAt(m.FMaxHz)
+	fp, err := ChipAt(m, s, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coreD, l2D float64
+	var nc, nl int
+	for _, u := range fp.Units {
+		switch u.Kind {
+		case "core":
+			coreD += u.Density()
+			nc++
+		case "l2":
+			l2D += u.Density()
+			nl++
+		}
+	}
+	coreD /= float64(nc)
+	l2D /= float64(nl)
+	if coreD < 2*l2D {
+		t.Errorf("core density %.1f W/cm2 should be well above L2 %.1f W/cm2", coreD/1e4, l2D/1e4)
+	}
+}
+
+func TestBaselineSpec(t *testing.T) {
+	spec := Baseline()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	table := spec.Table()
+	for _, want := range []string{
+		"x86-64", "32/128 KiB", "12 MiB", "160 cycles", "169 mm2",
+		"47.2 Watts @ 2.0 GHz", "56.8 Watts @ 3.6 GHz",
+		"[RC][VSA][ST/LT]", "MOESI directory", "4x4 mesh", "1 flits / 5 flits",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestSpecValidateCatchesErrors(t *testing.T) {
+	s := Baseline()
+	s.L2Banks = 11
+	if err := s.Validate(); err == nil {
+		t.Error("expected mesh-fill error")
+	}
+	s = Baseline()
+	s.L1LineBytes = 48
+	if err := s.Validate(); err == nil {
+		t.Error("expected line-size error")
+	}
+	s = Baseline()
+	s.VCs = 2
+	if err := s.Validate(); err == nil {
+		t.Error("expected vnet error")
+	}
+}
+
+func TestDynamicPowerActivity(t *testing.T) {
+	m := power.LowPower
+	s, _ := m.StepAt(2.0e9)
+	a := Activity{
+		Cycles:       2_000_000_000, // one second at 2 GHz
+		Instructions: 4_000_000_000,
+		L1Accesses:   1_000_000_000,
+		L2Accesses:   50_000_000,
+		DRAMAccesses: 5_000_000,
+		NoCFlitHops:  200_000_000,
+	}
+	p := DynamicPower(m, s, a)
+	// 4 GIPS at ~1.2 nJ/instr is ~5 W plus memories: order of watts.
+	if p < 1 || p > 50 {
+		t.Errorf("activity power %.3f W out of plausible range", p)
+	}
+	// Halving frequency (same event counts, same cycles) doubles the
+	// interval, halving average power at equal voltage.
+	s2 := s
+	s2.FHz = 1.0e9
+	if p2 := DynamicPower(m, s2, a); math.Abs(p2-p/2) > p*0.01 {
+		t.Errorf("power should halve with frequency at fixed V: %.3f vs %.3f", p2, p)
+	}
+	if DynamicPower(m, s, Activity{}) != 0 {
+		t.Error("empty activity must draw nothing")
+	}
+}
+
+func TestCacheArea(t *testing.T) {
+	l1 := CacheAreaM2(128<<10, 8, 22)
+	l2 := CacheAreaM2(12<<20, 8, 22)
+	if l1 <= 0 || l2 <= l1 {
+		t.Errorf("cache areas implausible: l1=%g l2=%g", l1, l2)
+	}
+	// 12 MiB at 22 nm lands in the tens of mm².
+	if l2 < 5e-6 || l2 > 100e-6 {
+		t.Errorf("12 MiB L2 area %.1f mm2 outside 5-100 mm2", l2*1e6)
+	}
+	if CacheAreaM2(0, 8, 22) != 0 || CacheAreaM2(1024, 8, 0) != 0 {
+		t.Error("degenerate cache must have zero area")
+	}
+}
+
+func TestChipAreaMatchesTable1(t *testing.T) {
+	// The composed area must land within McPAT's own published 16.7%
+	// error of Table 1's 169 mm² at 22 nm.
+	spec := Baseline()
+	a, err := ChipArea(spec, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := AreaErrorFraction(spec, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("area: cores %.1f + L1 %.1f + L2 %.1f + routers %.1f + overhead %.1f = %.1f mm2 (spec 169, err %.1f%%)",
+		a.CoresM2*1e6, a.L1sM2*1e6, a.L2M2*1e6, a.RoutersM2*1e6, a.OverheadM2*1e6,
+		a.TotalM2()*1e6, frac*100)
+	if frac > 0.167 {
+		t.Errorf("area error %.1f%% exceeds McPAT's 16.7%%", frac*100)
+	}
+	// Structure sanity: the 12 MiB L2 dominates the SRAM budget and
+	// routers are small.
+	if a.L2M2 < a.L1sM2 {
+		t.Error("the 12 MiB L2 must dwarf the L1s")
+	}
+	if a.RoutersM2 > a.CoresM2 {
+		t.Error("routers cannot outweigh the cores")
+	}
+}
+
+func TestChipAreaScalesWithNode(t *testing.T) {
+	spec := Baseline()
+	a22, _ := ChipArea(spec, 22)
+	a14, _ := ChipArea(spec, 14)
+	ratio := a14.TotalM2() / a22.TotalM2()
+	want := (14.0 * 14.0) / (22.0 * 22.0)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("area must scale with F²: ratio %.3f, want %.3f", ratio, want)
+	}
+	if _, err := ChipArea(spec, 0); err == nil {
+		t.Error("zero node must error")
+	}
+}

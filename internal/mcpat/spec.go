@@ -1,0 +1,105 @@
+package mcpat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CMPSpec is the baseline 2-D CMP specification of Table 1. It is
+// both documentation (cmd/waterbench -exp table1 prints it) and the
+// configuration source for the full-system simulator packages.
+type CMPSpec struct {
+	ProcessorFamily string
+	Cores           int
+	L1ISizeKiB      int
+	L1DSizeKiB      int
+	L1LineBytes     int
+	L1LatencyCycles int
+	L2SizeMiB       int
+	L2Assoc         int
+	L2Banks         int
+	L2LatencyCycles int
+	MemorySizeGiB   int
+	MemLatencyCyc   int
+	AreaMM2         float64
+	MaxPowerLowW    float64 // @ 2.0 GHz (low-power design)
+	MaxPowerHighW   float64 // @ 3.6 GHz (high-frequency design)
+	RouterPipeline  []string
+	BufferFlitsPVC  int
+	Protocol        string
+	VCs             int
+	MeshX, MeshY    int
+	CtrlPacketFlits int
+	DataPacketFlits int
+}
+
+// Baseline returns the Table 1 configuration.
+func Baseline() CMPSpec {
+	return CMPSpec{
+		ProcessorFamily: "x86-64",
+		Cores:           4,
+		L1ISizeKiB:      32,
+		L1DSizeKiB:      128,
+		L1LineBytes:     64,
+		L1LatencyCycles: 1,
+		L2SizeMiB:       12,
+		L2Assoc:         8,
+		L2Banks:         12,
+		L2LatencyCycles: 6,
+		MemorySizeGiB:   4,
+		MemLatencyCyc:   160,
+		AreaMM2:         169,
+		MaxPowerLowW:    47.2,
+		MaxPowerHighW:   56.8,
+		RouterPipeline:  []string{"RC", "VSA", "ST/LT"},
+		BufferFlitsPVC:  5,
+		Protocol:        "MOESI directory",
+		VCs:             3,
+		MeshX:           4,
+		MeshY:           4,
+		CtrlPacketFlits: 1,
+		DataPacketFlits: 5,
+	}
+}
+
+// Validate performs basic sanity checks on the specification.
+func (s CMPSpec) Validate() error {
+	switch {
+	case s.Cores <= 0:
+		return fmt.Errorf("mcpat: spec needs at least one core")
+	case s.MeshX*s.MeshY != s.Cores+s.L2Banks:
+		return fmt.Errorf("mcpat: mesh %dx%d does not hold %d cores + %d L2 banks",
+			s.MeshX, s.MeshY, s.Cores, s.L2Banks)
+	case s.L1LineBytes <= 0 || s.L1LineBytes&(s.L1LineBytes-1) != 0:
+		return fmt.Errorf("mcpat: L1 line size %d not a power of two", s.L1LineBytes)
+	case s.VCs < 3:
+		return fmt.Errorf("mcpat: MOESI directory needs >= 3 virtual networks, got %d", s.VCs)
+	case s.BufferFlitsPVC < s.CtrlPacketFlits:
+		return fmt.Errorf("mcpat: VC buffer %d smaller than a control packet", s.BufferFlitsPVC)
+	}
+	return nil
+}
+
+// Table renders the specification in the two-column style of Table 1.
+func (s CMPSpec) Table() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-32s %s\n", k, v) }
+	row("Processor family", s.ProcessorFamily)
+	row("Number of cores", fmt.Sprint(s.Cores))
+	row("L1 I/D cache size", fmt.Sprintf("%d/%d KiB (line:%dB)", s.L1ISizeKiB, s.L1DSizeKiB, s.L1LineBytes))
+	row("L1 cache latency", fmt.Sprintf("%d cycle", s.L1LatencyCycles))
+	row("L2 cache bank size", fmt.Sprintf("%d MiB (assoc:%d)", s.L2SizeMiB, s.L2Assoc))
+	row("L2 cache latency", fmt.Sprintf("%d cycles", s.L2LatencyCycles))
+	row("Memory size", fmt.Sprintf("%d GiB", s.MemorySizeGiB))
+	row("Memory latency", fmt.Sprintf("%d cycles", s.MemLatencyCyc))
+	row("Area", fmt.Sprintf("%.0f mm2", s.AreaMM2))
+	row("Maximum Power (low-power)", fmt.Sprintf("%.1f Watts @ 2.0 GHz", s.MaxPowerLowW))
+	row("Maximum Power (high-frequency)", fmt.Sprintf("%.1f Watts @ 3.6 GHz", s.MaxPowerHighW))
+	row("Router pipeline", "["+strings.Join(s.RouterPipeline, "][")+"]")
+	row("Buffer size", fmt.Sprintf("%d flits per VC", s.BufferFlitsPVC))
+	row("Protocol", s.Protocol)
+	row("# of VCs", fmt.Sprintf("%d (one VC for each message class)", s.VCs))
+	row("On-chip topology", fmt.Sprintf("%dx%d mesh", s.MeshX, s.MeshY))
+	row("Control / data packet size", fmt.Sprintf("%d flits / %d flits", s.CtrlPacketFlits, s.DataPacketFlits))
+	return b.String()
+}

@@ -1,0 +1,315 @@
+// Package noc models the on-chip interconnect of the baseline CMP: a
+// 4×4 mesh per chip (Table 1) stacked into a 4×4×N 3-D mesh by TSV
+// vertical links, with the [RC][VSA][ST/LT] three-stage router
+// pipeline, XYZ dimension-order routing, one virtual network per
+// coherence message class (request / forward / response) and
+// credit-class packet sizes of 1 flit (control) and 5 flits (data).
+//
+// The model is packet-granular wormhole: a packet's head flit pays
+// the router pipeline at every hop, each traversed link is held busy
+// for the packet's full serialisation time (flits × cycle), and the
+// tail arrives at the destination one serialisation behind the head.
+// Per-VC buffer occupancy and credit stalls are folded into the link
+// busy times rather than simulated flit-by-flit; this keeps the
+// simulator fast while preserving the contention behaviour that the
+// NPB experiments exercise. Virtual-channel deadlock cannot arise in
+// this abstraction, matching the deadlock freedom the three real
+// vnets guarantee.
+package noc
+
+import (
+	"fmt"
+
+	"waterimm/internal/sim"
+)
+
+// Routing selects the route computation algorithm.
+type Routing int
+
+// Routing algorithms.
+const (
+	// RoutingXYZ is deterministic dimension-order routing (default).
+	RoutingXYZ Routing = iota
+	// RoutingO1Turn alternates packets between XY and YX dimension
+	// orders (Z always last), spreading load across both minimal
+	// route families; it recovers most of adaptive routing's benefit
+	// on adversarial patterns like transpose while staying minimal
+	// and deadlock-free with doubled VC sets (which this model's
+	// latency abstraction does not need to simulate explicitly).
+	RoutingO1Turn
+)
+
+func (r Routing) String() string {
+	if r == RoutingO1Turn {
+		return "o1turn"
+	}
+	return "xyz"
+}
+
+// Config sizes the mesh.
+type Config struct {
+	// NX, NY are the per-chip mesh dimensions; NZ is the number of
+	// stacked chips.
+	NX, NY, NZ int
+	// FHz is the network clock (the paper clocks the NoC with the
+	// cores).
+	FHz float64
+	// PipelineCycles is the per-hop head latency: [RC][VSA][ST/LT]
+	// gives 3.
+	PipelineCycles int
+	// LinkCycles is the inter-router link traversal time (1), and
+	// TSVCycles the vertical hop (TSV/TCI links are short; 1).
+	LinkCycles, TSVCycles int
+	// VNets is the number of virtual networks (3).
+	VNets int
+	// CtrlFlits, DataFlits are packet sizes per class.
+	CtrlFlits, DataFlits int
+	// Routing selects the route computation (default XYZ).
+	Routing Routing
+}
+
+// DefaultConfig returns Table 1's NoC for a stack of nz chips at fHz.
+func DefaultConfig(nz int, fHz float64) Config {
+	return Config{
+		NX: 4, NY: 4, NZ: nz,
+		FHz:            fHz,
+		PipelineCycles: 3,
+		LinkCycles:     1,
+		TSVCycles:      1,
+		VNets:          3,
+		CtrlFlits:      1,
+		DataFlits:      5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NX < 1 || c.NY < 1 || c.NZ < 1:
+		return fmt.Errorf("noc: bad mesh %dx%dx%d", c.NX, c.NY, c.NZ)
+	case c.FHz <= 0:
+		return fmt.Errorf("noc: bad frequency %g", c.FHz)
+	case c.PipelineCycles < 1 || c.LinkCycles < 1 || c.TSVCycles < 1:
+		return fmt.Errorf("noc: pipeline/link cycles must be >= 1")
+	case c.VNets < 1:
+		return fmt.Errorf("noc: need at least one vnet")
+	case c.CtrlFlits < 1 || c.DataFlits < c.CtrlFlits:
+		return fmt.Errorf("noc: bad packet sizes %d/%d", c.CtrlFlits, c.DataFlits)
+	}
+	return nil
+}
+
+// Nodes returns the router count.
+func (c Config) Nodes() int { return c.NX * c.NY * c.NZ }
+
+// Packet is one network packet. Payload is opaque to the mesh and
+// handed to the delivery callback.
+type Packet struct {
+	Src, Dst int
+	VNet     int
+	Flits    int
+	Payload  interface{}
+	// Injected is stamped by Send for latency accounting.
+	Injected sim.Time
+	// yFirst marks an O1TURN packet routed YX instead of XY.
+	yFirst bool
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Packets     uint64
+	FlitHops    uint64
+	TotalHops   uint64
+	TotalLatFS  uint64 // sum of packet latencies in femtoseconds
+	MaxLatFS    uint64
+	VNetPackets [8]uint64
+}
+
+// AvgLatency returns the mean packet latency.
+func (s Stats) AvgLatency() sim.Time {
+	if s.Packets == 0 {
+		return 0
+	}
+	return sim.Time(s.TotalLatFS / s.Packets)
+}
+
+// AvgHops returns the mean hop count.
+func (s Stats) AvgHops() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Packets)
+}
+
+// Mesh is the interconnect instance.
+type Mesh struct {
+	cfg    Config
+	kernel *sim.Kernel
+	cycle  sim.Time
+	// sent alternates O1TURN packets between route families.
+	sent uint64
+	// linkFree[l] is when directed link l finishes its current
+	// wormhole transmission. Links are indexed router*6+dir.
+	linkFree []sim.Time
+	// Deliver is invoked (as a scheduled event) when a packet's tail
+	// arrives at its destination router's local port.
+	Deliver func(p *Packet)
+	Stats   Stats
+}
+
+// Directions.
+const (
+	dirXPlus = iota
+	dirXMinus
+	dirYPlus
+	dirYMinus
+	dirZPlus
+	dirZMinus
+	numDirs
+)
+
+// New builds a mesh on the kernel.
+func New(k *sim.Kernel, cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mesh{
+		cfg:      cfg,
+		kernel:   k,
+		cycle:    sim.Cycle(cfg.FHz),
+		linkFree: make([]sim.Time, cfg.Nodes()*numDirs),
+	}, nil
+}
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+// NodeID converts coordinates to a router id.
+func (m *Mesh) NodeID(x, y, z int) int {
+	return (z*m.cfg.NY+y)*m.cfg.NX + x
+}
+
+// Coords converts a router id back to mesh coordinates.
+func (m *Mesh) Coords(id int) (x, y, z int) {
+	x = id % m.cfg.NX
+	rest := id / m.cfg.NX
+	y = rest % m.cfg.NY
+	z = rest / m.cfg.NY
+	return
+}
+
+// route returns the direction of the next hop from cur toward dst
+// under the packet's dimension order (XY or YX, Z always last), or
+// -1 when cur == dst.
+func (m *Mesh) route(cur, dst int, yFirst bool) int {
+	cx, cy, cz := m.Coords(cur)
+	dx, dy, dz := m.Coords(dst)
+	if yFirst {
+		switch {
+		case cy < dy:
+			return dirYPlus
+		case cy > dy:
+			return dirYMinus
+		case cx < dx:
+			return dirXPlus
+		case cx > dx:
+			return dirXMinus
+		}
+	} else {
+		switch {
+		case cx < dx:
+			return dirXPlus
+		case cx > dx:
+			return dirXMinus
+		case cy < dy:
+			return dirYPlus
+		case cy > dy:
+			return dirYMinus
+		}
+	}
+	switch {
+	case cz < dz:
+		return dirZPlus
+	case cz > dz:
+		return dirZMinus
+	}
+	return -1
+}
+
+// neighbor returns the router id one hop from cur in dir.
+func (m *Mesh) neighbor(cur, dir int) int {
+	x, y, z := m.Coords(cur)
+	switch dir {
+	case dirXPlus:
+		x++
+	case dirXMinus:
+		x--
+	case dirYPlus:
+		y++
+	case dirYMinus:
+		y--
+	case dirZPlus:
+		z++
+	case dirZMinus:
+		z--
+	}
+	return m.NodeID(x, y, z)
+}
+
+// Send injects a packet at its source router at the current time.
+// Delivery (including for Src == Dst, which models the local
+// crossbar turnaround) is scheduled through the kernel.
+func (m *Mesh) Send(p *Packet) {
+	if p.Dst < 0 || p.Dst >= m.cfg.Nodes() || p.Src < 0 || p.Src >= m.cfg.Nodes() {
+		panic(fmt.Sprintf("noc: packet endpoint out of range: %d -> %d", p.Src, p.Dst))
+	}
+	if p.Flits <= 0 {
+		p.Flits = m.cfg.CtrlFlits
+	}
+	p.Injected = m.kernel.Now()
+	if m.cfg.Routing == RoutingO1Turn {
+		p.yFirst = m.sent%2 == 1
+	}
+	m.sent++
+	m.hop(p, p.Src, m.kernel.Now())
+}
+
+// hop advances the packet's head from router cur, starting no earlier
+// than t.
+func (m *Mesh) hop(p *Packet, cur int, t sim.Time) {
+	dir := m.route(cur, p.Dst, p.yFirst)
+	if dir < 0 {
+		// Arrived: tail lags the head by the serialisation time.
+		done := t + sim.Time(p.Flits-1)*m.cycle + m.cycle // +local ejection
+		m.kernel.At(done, func() {
+			m.Stats.Packets++
+			m.Stats.VNetPackets[p.VNet&7]++
+			lat := uint64(done - p.Injected)
+			m.Stats.TotalLatFS += lat
+			if lat > m.Stats.MaxLatFS {
+				m.Stats.MaxLatFS = lat
+			}
+			if m.Deliver != nil {
+				m.Deliver(p)
+			}
+		})
+		return
+	}
+	link := cur*numDirs + dir
+	pipeline := sim.Time(m.cfg.PipelineCycles) * m.cycle
+	ready := t + pipeline
+	if m.linkFree[link] > ready {
+		ready = m.linkFree[link]
+	}
+	// The link is busy until every flit has crossed it.
+	m.linkFree[link] = ready + sim.Time(p.Flits)*m.cycle
+	linkLat := m.cfg.LinkCycles
+	if dir == dirZPlus || dir == dirZMinus {
+		linkLat = m.cfg.TSVCycles
+	}
+	next := m.neighbor(cur, dir)
+	arrive := ready + sim.Time(linkLat)*m.cycle
+	m.Stats.TotalHops++
+	m.Stats.FlitHops += uint64(p.Flits)
+	m.kernel.At(arrive, func() { m.hop(p, next, arrive) })
+}

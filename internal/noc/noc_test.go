@@ -1,0 +1,205 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"waterimm/internal/sim"
+)
+
+func newMesh(t *testing.T, nz int) (*sim.Kernel, *Mesh) {
+	t.Helper()
+	k := sim.NewKernel()
+	m, err := New(k, DefaultConfig(nz, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(4, 2e9).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{NX: 0, NY: 4, NZ: 1, FHz: 1e9, PipelineCycles: 3, LinkCycles: 1, TSVCycles: 1, VNets: 3, CtrlFlits: 1, DataFlits: 5},
+		{NX: 4, NY: 4, NZ: 1, FHz: 0, PipelineCycles: 3, LinkCycles: 1, TSVCycles: 1, VNets: 3, CtrlFlits: 1, DataFlits: 5},
+		{NX: 4, NY: 4, NZ: 1, FHz: 1e9, PipelineCycles: 0, LinkCycles: 1, TSVCycles: 1, VNets: 3, CtrlFlits: 1, DataFlits: 5},
+		{NX: 4, NY: 4, NZ: 1, FHz: 1e9, PipelineCycles: 3, LinkCycles: 1, TSVCycles: 1, VNets: 0, CtrlFlits: 1, DataFlits: 5},
+		{NX: 4, NY: 4, NZ: 1, FHz: 1e9, PipelineCycles: 3, LinkCycles: 1, TSVCycles: 1, VNets: 3, CtrlFlits: 5, DataFlits: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	_, m := newMesh(t, 3)
+	for id := 0; id < m.Config().Nodes(); id++ {
+		x, y, z := m.Coords(id)
+		if m.NodeID(x, y, z) != id {
+			t.Fatalf("coords round trip failed for %d", id)
+		}
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	// One 5-flit packet across h hops: head pays (pipeline + link)
+	// per hop, tail pays the serialisation once at ejection.
+	k, m := newMesh(t, 1)
+	var arrived sim.Time
+	m.Deliver = func(p *Packet) { arrived = k.Now() }
+	m.Send(&Packet{Src: m.NodeID(0, 0, 0), Dst: m.NodeID(3, 0, 0), VNet: 2, Flits: 5})
+	k.Run(nil)
+	cycle := sim.Cycle(2.0e9)
+	hops := sim.Time(3)
+	want := hops*(3+1)*cycle + 5*cycle
+	if arrived != want {
+		t.Errorf("zero-load latency %d fs, want %d fs", arrived, want)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	k, m := newMesh(t, 1)
+	delivered := false
+	m.Deliver = func(p *Packet) { delivered = true }
+	m.Send(&Packet{Src: 5, Dst: 5, VNet: 0, Flits: 1})
+	k.Run(nil)
+	if !delivered {
+		t.Fatal("local packet never delivered")
+	}
+}
+
+func TestHopCountIsManhattan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := sim.NewKernel()
+		m, err := New(k, DefaultConfig(4, 2.0e9))
+		if err != nil {
+			return false
+		}
+		src := rng.Intn(m.Config().Nodes())
+		dst := rng.Intn(m.Config().Nodes())
+		m.Deliver = func(p *Packet) {}
+		m.Send(&Packet{Src: src, Dst: dst, VNet: 0, Flits: 1})
+		k.Run(nil)
+		sx, sy, sz := m.Coords(src)
+		dx, dy, dz := m.Coords(dst)
+		manhattan := abs(sx-dx) + abs(sy-dy) + abs(sz-dz)
+		return m.Stats.TotalHops == uint64(manhattan)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestContentionSerialises(t *testing.T) {
+	// Two same-path packets injected together: the second's tail
+	// waits for the first's serialisation on every shared link.
+	k, m := newMesh(t, 1)
+	var arrivals []sim.Time
+	m.Deliver = func(p *Packet) { arrivals = append(arrivals, k.Now()) }
+	for i := 0; i < 2; i++ {
+		m.Send(&Packet{Src: 0, Dst: 3, VNet: 0, Flits: 5})
+	}
+	k.Run(nil)
+	if len(arrivals) != 2 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	if arrivals[1] <= arrivals[0] {
+		t.Error("contending packet must arrive strictly later")
+	}
+	cycle := sim.Cycle(2.0e9)
+	if gap := arrivals[1] - arrivals[0]; gap < 5*cycle {
+		t.Errorf("second packet gap %d fs below one serialisation (%d fs)", gap, 5*cycle)
+	}
+}
+
+func TestSamePathFIFO(t *testing.T) {
+	// Packets on an identical route must deliver in injection order
+	// (the protocol's point-to-point ordering assumption).
+	k, m := newMesh(t, 2)
+	var order []int
+	m.Deliver = func(p *Packet) { order = append(order, p.Payload.(int)) }
+	for i := 0; i < 20; i++ {
+		flits := 1
+		if i%3 == 0 {
+			flits = 5
+		}
+		m.Send(&Packet{Src: 1, Dst: m.NodeID(2, 3, 1), VNet: 0, Flits: flits, Payload: i})
+	}
+	k.Run(nil)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestVerticalTSVRouting(t *testing.T) {
+	k, m := newMesh(t, 4)
+	var arrived bool
+	m.Deliver = func(p *Packet) { arrived = true }
+	m.Send(&Packet{Src: m.NodeID(1, 2, 0), Dst: m.NodeID(1, 2, 3), VNet: 1, Flits: 1})
+	k.Run(nil)
+	if !arrived {
+		t.Fatal("vertical packet lost")
+	}
+	if m.Stats.TotalHops != 3 {
+		t.Errorf("pure-vertical route took %d hops, want 3", m.Stats.TotalHops)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	k, m := newMesh(t, 1)
+	m.Deliver = func(p *Packet) {}
+	m.Send(&Packet{Src: 0, Dst: 3, VNet: 2, Flits: 5})
+	m.Send(&Packet{Src: 0, Dst: 1, VNet: 0, Flits: 1})
+	k.Run(nil)
+	if m.Stats.Packets != 2 {
+		t.Errorf("packets %d, want 2", m.Stats.Packets)
+	}
+	if m.Stats.FlitHops != 5*3+1 {
+		t.Errorf("flit-hops %d, want %d", m.Stats.FlitHops, 5*3+1)
+	}
+	if m.Stats.VNetPackets[2] != 1 || m.Stats.VNetPackets[0] != 1 {
+		t.Error("per-vnet packet counts wrong")
+	}
+	if m.Stats.AvgHops() != 2 {
+		t.Errorf("avg hops %.1f, want 2", m.Stats.AvgHops())
+	}
+	if m.Stats.AvgLatency() == 0 || m.Stats.MaxLatFS == 0 {
+		t.Error("latency stats empty")
+	}
+}
+
+func TestSendPanicsOnBadEndpoint(t *testing.T) {
+	_, m := newMesh(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range destination")
+		}
+	}()
+	m.Send(&Packet{Src: 0, Dst: 99})
+}
+
+func TestDefaultFlitsApplied(t *testing.T) {
+	k, m := newMesh(t, 1)
+	m.Deliver = func(p *Packet) {
+		if p.Flits != m.Config().CtrlFlits {
+			t.Errorf("zero-flit packet should default to control size, got %d", p.Flits)
+		}
+	}
+	m.Send(&Packet{Src: 0, Dst: 1, VNet: 0})
+	k.Run(nil)
+}

@@ -1,0 +1,33 @@
+package npb_test
+
+import (
+	"fmt"
+	"strings"
+
+	"waterimm/internal/cpu"
+	"waterimm/internal/npb"
+)
+
+// Streams are deterministic per (thread, seed): the first operations
+// of CG's thread 0 are a compute burst followed by a memory access.
+func ExampleBenchmark_Stream() {
+	cg, _ := npb.ByName("cg")
+	s := cg.Stream(0, 24, 1, 1.0)
+	first := s.Next()
+	second := s.Next()
+	fmt.Println(first.Kind == cpu.OpCompute, second.Kind == cpu.OpLoad || second.Kind == cpu.OpStore)
+	// Output:
+	// true true
+}
+
+// The trace format round-trips: export a kernel, parse it back,
+// replay identically.
+func ExampleParseTrace() {
+	tr, err := npb.ParseTrace(strings.NewReader("c 10\nl 0x40\nb\n"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Len(), tr.Barriers())
+	// Output:
+	// 3 1
+}

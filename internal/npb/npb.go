@@ -1,0 +1,255 @@
+// Package npb generates synthetic OpenMP workloads that mimic the
+// nine NAS Parallel Benchmarks the paper runs under gem5 (Section
+// 3.3): each kernel is characterised by its compute intensity,
+// working-set size and residency, shared-data fraction, store ratio,
+// access regularity and barrier cadence. The generator produces
+// deterministic per-thread operation streams for package cpu.
+//
+// The goal is not instruction-accurate NPB but the property the
+// paper's experiment depends on: per-kernel frequency sensitivity.
+// Compute-bound kernels (EP, BT) scale almost linearly with clock
+// frequency, memory-bound kernels (CG, IS) saturate against the
+// fixed-nanosecond DRAM, and the rest fall in between — which is
+// exactly what differentiates the cooling options in Figures 10-13.
+package npb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waterimm/internal/cpu"
+)
+
+// Benchmark describes one synthetic NPB kernel.
+type Benchmark struct {
+	Name        string
+	Description string
+
+	// ComputePerMemOp is the mean compute-burst length in cycles
+	// between memory operations (±50 % jitter).
+	ComputePerMemOp int
+	// PrivateLines and SharedLines size the per-thread private and
+	// global shared regions in cache lines.
+	PrivateLines, SharedLines int
+	// SharedFrac is the fraction of memory operations that touch the
+	// shared region; StoreFrac the fraction that are stores.
+	SharedFrac, StoreFrac float64
+	// Sequential selects strided (true) or uniformly random (false)
+	// addressing; StrideLines is the stride for sequential kernels.
+	Sequential  bool
+	StrideLines int
+	// BarrierEvery is the number of memory operations between
+	// OpenMP barriers.
+	BarrierEvery int
+	// MemOps is the per-thread memory-operation count of the scaled
+	// problem class.
+	MemOps int
+}
+
+// Benchmarks returns the nine kernels in the paper's figure order.
+// Sizes are scaled so a full 24-thread run stays in the millions of
+// events; the ratios between compute, cache-resident and DRAM-bound
+// kernels follow the published NPB characterisations.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name:            "bt",
+			Description:     "block tridiagonal solver: compute-heavy, regular",
+			ComputePerMemOp: 45, PrivateLines: 16384, SharedLines: 8192,
+			SharedFrac: 0.05, StoreFrac: 0.35,
+			Sequential: true, StrideLines: 2, BarrierEvery: 600, MemOps: 5000,
+		},
+		{
+			Name:            "cg",
+			Description:     "conjugate gradient: sparse matvec, DRAM-bound",
+			ComputePerMemOp: 8, PrivateLines: 4096, SharedLines: 2 << 20,
+			SharedFrac: 0.65, StoreFrac: 0.15,
+			Sequential: false, BarrierEvery: 500, MemOps: 5000,
+		},
+		{
+			Name:            "ep",
+			Description:     "embarrassingly parallel: pure compute",
+			ComputePerMemOp: 200, PrivateLines: 256, SharedLines: 64,
+			SharedFrac: 0.01, StoreFrac: 0.30,
+			Sequential: true, StrideLines: 1, BarrierEvery: 5000, MemOps: 4000,
+		},
+		{
+			Name:            "ft",
+			Description:     "3-D FFT: all-to-all transpose, NoC-heavy",
+			ComputePerMemOp: 25, PrivateLines: 8192, SharedLines: 512 << 10,
+			SharedFrac: 0.50, StoreFrac: 0.45,
+			Sequential: false, BarrierEvery: 800, MemOps: 5000,
+		},
+		{
+			Name:            "is",
+			Description:     "integer sort: random scatter, memory-bound",
+			ComputePerMemOp: 5, PrivateLines: 2048, SharedLines: 1 << 20,
+			SharedFrac: 0.70, StoreFrac: 0.50,
+			Sequential: false, BarrierEvery: 1500, MemOps: 5000,
+		},
+		{
+			Name:            "lu",
+			Description:     "LU solver: wavefront pipeline, frequent syncs",
+			ComputePerMemOp: 35, PrivateLines: 8192, SharedLines: 16384,
+			SharedFrac: 0.08, StoreFrac: 0.40,
+			Sequential: true, StrideLines: 1, BarrierEvery: 250, MemOps: 5000,
+		},
+		{
+			Name:            "mg",
+			Description:     "multigrid: strided hierarchy traversal",
+			ComputePerMemOp: 15, PrivateLines: 32768, SharedLines: 1 << 20,
+			SharedFrac: 0.40, StoreFrac: 0.30,
+			Sequential: true, StrideLines: 8, BarrierEvery: 700, MemOps: 5000,
+		},
+		{
+			Name:            "sp",
+			Description:     "scalar pentadiagonal solver: regular compute",
+			ComputePerMemOp: 28, PrivateLines: 16384, SharedLines: 8192,
+			SharedFrac: 0.06, StoreFrac: 0.35,
+			Sequential: true, StrideLines: 4, BarrierEvery: 400, MemOps: 5000,
+		},
+		{
+			Name:            "ua",
+			Description:     "unstructured adaptive mesh: irregular sharing",
+			ComputePerMemOp: 12, PrivateLines: 8192, SharedLines: 512 << 10,
+			SharedFrac: 0.60, StoreFrac: 0.35,
+			Sequential: false, BarrierEvery: 700, MemOps: 5000,
+		},
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("npb: unknown benchmark %q", name)
+}
+
+// Validate checks the kernel parameters.
+func (b Benchmark) Validate() error {
+	switch {
+	case b.ComputePerMemOp < 1:
+		return fmt.Errorf("npb: %s: compute per mem op must be >= 1", b.Name)
+	case b.PrivateLines < 1 || b.SharedLines < 1:
+		return fmt.Errorf("npb: %s: regions must be non-empty", b.Name)
+	case b.SharedFrac < 0 || b.SharedFrac > 1 || b.StoreFrac < 0 || b.StoreFrac > 1:
+		return fmt.Errorf("npb: %s: fractions out of range", b.Name)
+	case b.Sequential && b.StrideLines < 1:
+		return fmt.Errorf("npb: %s: sequential kernel needs a stride", b.Name)
+	case b.BarrierEvery < 1 || b.MemOps < 1:
+		return fmt.Errorf("npb: %s: bad op counts", b.Name)
+	}
+	return nil
+}
+
+// Address-space layout: thread-private regions start at 4 GiB
+// boundaries; the shared region sits high.
+const (
+	lineBytes    = 64
+	privateBase  = uint64(1) << 32
+	privateSpace = uint64(1) << 32
+	sharedBase   = uint64(1) << 44
+)
+
+// wordsPerLine is how many consecutive word accesses a sequential
+// kernel performs inside one cache line before striding on (64-byte
+// lines of 8-byte words). Random kernels are line-granular: sparse
+// and scatter accesses rarely revisit a line.
+const wordsPerLine = 8
+
+// stream implements cpu.Stream for one thread of a benchmark.
+type stream struct {
+	b                 Benchmark
+	rng               *rand.Rand
+	privBase          uint64
+	privIdx           uint64
+	shrIdx            uint64
+	privWord, shrWord int
+	opsLeft           int
+	toBarrier         int
+	// pendingMem is the memory op to emit after the compute burst.
+	pendingMem *cpu.Op
+}
+
+// Stream builds the deterministic operation stream for a thread.
+// The scale factor multiplies the per-thread memory-op count
+// (scale 1.0 = the benchmark's class size; benches use smaller
+// scales for quick sweeps).
+func (b Benchmark) Stream(thread, threads int, seed int64, scale float64) cpu.Stream {
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	ops := int(float64(b.MemOps) * scale)
+	if ops < 1 {
+		ops = 1
+	}
+	return &stream{
+		b:         b,
+		rng:       rand.New(rand.NewSource(seed ^ int64(uint64(thread+1)*0x9e3779b97f4a7c15>>1))),
+		privBase:  privateBase + uint64(thread)*privateSpace,
+		privIdx:   uint64(thread * 17),
+		shrIdx:    uint64(thread) * uint64(b.SharedLines) / uint64(threads),
+		opsLeft:   ops,
+		toBarrier: b.BarrierEvery,
+	}
+}
+
+// Next produces the next operation: alternating compute bursts and
+// memory operations, with barriers on the kernel's cadence.
+func (s *stream) Next() cpu.Op {
+	if s.pendingMem != nil {
+		op := *s.pendingMem
+		s.pendingMem = nil
+		return op
+	}
+	if s.opsLeft == 0 {
+		return cpu.Op{Kind: cpu.OpDone}
+	}
+	if s.toBarrier == 0 {
+		s.toBarrier = s.b.BarrierEvery
+		return cpu.Op{Kind: cpu.OpBarrier}
+	}
+	s.opsLeft--
+	s.toBarrier--
+
+	// Build the memory op that follows the compute burst.
+	var addr uint64
+	if s.rng.Float64() < s.b.SharedFrac {
+		if s.b.Sequential {
+			s.shrWord++
+			if s.shrWord == wordsPerLine {
+				s.shrWord = 0
+				s.shrIdx = (s.shrIdx + uint64(s.b.StrideLines)) % uint64(s.b.SharedLines)
+			}
+			addr = sharedBase + s.shrIdx*lineBytes + uint64(s.shrWord)*8
+		} else {
+			addr = sharedBase + uint64(s.rng.Intn(s.b.SharedLines))*lineBytes
+		}
+	} else {
+		if s.b.Sequential {
+			s.privWord++
+			if s.privWord == wordsPerLine {
+				s.privWord = 0
+				s.privIdx = (s.privIdx + uint64(s.b.StrideLines)) % uint64(s.b.PrivateLines)
+			}
+			addr = s.privBase + s.privIdx*lineBytes + uint64(s.privWord)*8
+		} else {
+			addr = s.privBase + uint64(s.rng.Intn(s.b.PrivateLines))*lineBytes
+		}
+	}
+	kind := cpu.OpLoad
+	if s.rng.Float64() < s.b.StoreFrac {
+		kind = cpu.OpStore
+	}
+	s.pendingMem = &cpu.Op{Kind: kind, Addr: addr}
+
+	// Compute burst with ±50 % jitter to break lockstep.
+	burst := s.b.ComputePerMemOp/2 + s.rng.Intn(s.b.ComputePerMemOp+1)
+	if burst < 1 {
+		burst = 1
+	}
+	return cpu.Op{Kind: cpu.OpCompute, Cycles: uint32(burst)}
+}

@@ -1,0 +1,292 @@
+package npb
+
+import (
+	"strings"
+	"testing"
+
+	"waterimm/internal/coherence"
+	"waterimm/internal/cpu"
+	"waterimm/internal/sim"
+)
+
+func TestBenchmarksValidate(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 9 {
+		t.Fatalf("the paper runs nine NPB kernels, got %d", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	for _, want := range []string{"bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "ua"} {
+		if !seen[want] {
+			t.Errorf("missing kernel %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("cg")
+	if err != nil || b.Name != "cg" {
+		t.Fatalf("ByName(cg) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("linpack"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestValidateCatchesBadKernels(t *testing.T) {
+	b, _ := ByName("cg")
+	b.ComputePerMemOp = 0
+	if err := b.Validate(); err == nil {
+		t.Error("expected compute error")
+	}
+	b, _ = ByName("cg")
+	b.SharedFrac = 1.5
+	if err := b.Validate(); err == nil {
+		t.Error("expected fraction error")
+	}
+	b, _ = ByName("bt")
+	b.StrideLines = 0
+	if err := b.Validate(); err == nil {
+		t.Error("expected stride error")
+	}
+}
+
+// drain pulls a stream to completion, returning per-kind counts.
+func drain(t *testing.T, s cpu.Stream, limit int) map[cpu.OpKind]int {
+	t.Helper()
+	counts := map[cpu.OpKind]int{}
+	for i := 0; i < limit; i++ {
+		op := s.Next()
+		counts[op.Kind]++
+		if op.Kind == cpu.OpDone {
+			return counts
+		}
+	}
+	t.Fatal("stream never terminated")
+	return nil
+}
+
+func TestStreamTerminatesWithExpectedOps(t *testing.T) {
+	for _, b := range Benchmarks() {
+		s := b.Stream(0, 24, 1, 0.1)
+		counts := drain(t, s, b.MemOps*10)
+		memOps := counts[cpu.OpLoad] + counts[cpu.OpStore]
+		want := int(float64(b.MemOps) * 0.1)
+		if memOps != want {
+			t.Errorf("%s: %d memory ops, want %d", b.Name, memOps, want)
+		}
+		if counts[cpu.OpCompute] != memOps {
+			t.Errorf("%s: %d compute bursts for %d mem ops", b.Name, counts[cpu.OpCompute], memOps)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	b, _ := ByName("ft")
+	a := b.Stream(3, 24, 42, 0.2)
+	c := b.Stream(3, 24, 42, 0.2)
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), c.Next()
+		if x != y {
+			t.Fatalf("op %d differs: %+v vs %+v", i, x, y)
+		}
+		if x.Kind == cpu.OpDone {
+			return
+		}
+	}
+}
+
+func TestThreadsDiffer(t *testing.T) {
+	b, _ := ByName("is")
+	a := b.Stream(0, 24, 1, 0.2)
+	c := b.Stream(1, 24, 1, 0.2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 150 {
+		t.Errorf("threads produced nearly identical streams (%d/200 identical ops)", same)
+	}
+}
+
+func TestBarrierCountsMatchAcrossThreads(t *testing.T) {
+	// Deadlock freedom of the barrier protocol requires every thread
+	// to arrive the same number of times.
+	for _, b := range Benchmarks() {
+		var counts []int
+		for thread := 0; thread < 4; thread++ {
+			s := b.Stream(thread, 4, 9, 0.5)
+			c := drain(t, s, b.MemOps*20)
+			counts = append(counts, c[cpu.OpBarrier])
+		}
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				t.Errorf("%s: unequal barrier counts %v would deadlock", b.Name, counts)
+			}
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	b, _ := ByName("ep") // almost entirely private traffic
+	seen := map[uint64]int{}
+	for thread := 0; thread < 8; thread++ {
+		s := b.Stream(thread, 8, 1, 0.3)
+		for {
+			op := s.Next()
+			if op.Kind == cpu.OpDone {
+				break
+			}
+			if op.Kind == cpu.OpLoad || op.Kind == cpu.OpStore {
+				if op.Addr < sharedBase {
+					region := op.Addr / privateSpace
+					if prev, ok := seen[region]; ok && prev != thread {
+						t.Fatalf("threads %d and %d share private region %d", prev, thread, region)
+					}
+					seen[region] = thread
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialKernelsReuseLines(t *testing.T) {
+	// Word-granular streaming: sequential kernels must revisit each
+	// line wordsPerLine times, keeping L1 hit rates realistic.
+	b, _ := ByName("lu")
+	s := b.Stream(0, 4, 1, 0.3)
+	lineHits := map[uint64]int{}
+	for {
+		op := s.Next()
+		if op.Kind == cpu.OpDone {
+			break
+		}
+		if op.Kind == cpu.OpLoad || op.Kind == cpu.OpStore {
+			lineHits[op.Addr&^63]++
+		}
+	}
+	multi := 0
+	for _, n := range lineHits {
+		if n >= wordsPerLine/2 {
+			multi++
+		}
+	}
+	if multi < len(lineHits)/2 {
+		t.Errorf("only %d/%d lines show word-level reuse", multi, len(lineHits))
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	b, _ := ByName("ep")
+	s := b.Stream(0, 4, 1, 1e-9)
+	counts := drain(t, s, 100)
+	if counts[cpu.OpLoad]+counts[cpu.OpStore] != 1 {
+		t.Error("tiny scales must floor at one memory op")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	src := `# demo trace
+c 100
+l 0x1000
+s 1040
+b
+c 5
+`
+	tr, err := ParseTrace(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 || tr.Barriers() != 1 {
+		t.Fatalf("len=%d barriers=%d", tr.Len(), tr.Barriers())
+	}
+	s := tr.Stream()
+	want := []cpu.Op{
+		{Kind: cpu.OpCompute, Cycles: 100},
+		{Kind: cpu.OpLoad, Addr: 0x1000},
+		{Kind: cpu.OpStore, Addr: 0x1040},
+		{Kind: cpu.OpBarrier},
+		{Kind: cpu.OpCompute, Cycles: 5},
+		{Kind: cpu.OpDone},
+		{Kind: cpu.OpDone}, // idempotent past the end
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("op %d: %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, src := range []string{
+		"c", "c 0", "c x", "l", "l zz", "q 1",
+	} {
+		if _, err := ParseTrace(strings.NewReader(src)); err == nil {
+			t.Errorf("trace %q must fail to parse", src)
+		}
+	}
+}
+
+func TestTraceDrivesCore(t *testing.T) {
+	// A two-line trace through the full machine.
+	tr, err := ParseTrace(strings.NewReader("s 0x40\nl 0x40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	sys, err := coherence.New(k, coherence.DefaultConfig(1, 2.0e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := cpu.NewBarrierGroup(k, 1, 0)
+	c := cpu.NewCore(0, k, sys.L1s[0], cpu.NewClock(2.0e9), tr.Stream(), bg)
+	c.Start()
+	for k.Step() {
+	}
+	if !c.Done || c.Stats.Loads != 1 || c.Stats.Stores != 1 {
+		t.Fatalf("trace replay failed: %+v", c.Stats)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	// Export a synthetic kernel and re-parse it: the replayed stream
+	// must match the original op-for-op.
+	b, _ := ByName("mg")
+	var buf strings.Builder
+	if err := ExportTrace(&buf, b.Stream(2, 8, 5, 0.05), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := b.Stream(2, 8, 5, 0.05)
+	replay := tr.Stream()
+	for i := 0; ; i++ {
+		a, c := orig.Next(), replay.Next()
+		if a != c {
+			t.Fatalf("op %d differs after round trip: %+v vs %+v", i, a, c)
+		}
+		if a.Kind == cpu.OpDone {
+			break
+		}
+	}
+}
+
+func TestExportTraceBudget(t *testing.T) {
+	b, _ := ByName("ep")
+	var buf strings.Builder
+	if err := ExportTrace(&buf, b.Stream(0, 4, 1, 1), 10); err == nil {
+		t.Error("tiny budget must error")
+	}
+}

@@ -1,0 +1,134 @@
+package npb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"waterimm/internal/cpu"
+)
+
+// Trace-driven workloads: besides the synthetic kernels, the
+// simulator accepts explicit per-thread operation traces in a small
+// line format, so externally captured or hand-written workloads can
+// drive the same machine. The format is one op per line:
+//
+//	c <cycles>     compute burst
+//	l <hex-addr>   load
+//	s <hex-addr>   store
+//	b              barrier
+//
+// Blank lines and lines starting with '#' are ignored. A thread's
+// stream ends at EOF (an implicit Done).
+type Trace struct {
+	ops []cpu.Op
+}
+
+// ParseTrace reads the trace format.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(why string) error {
+			return fmt.Errorf("npb: trace line %d: %s: %q", line, why, text)
+		}
+		switch fields[0] {
+		case "c":
+			if len(fields) != 2 {
+				return nil, bad("compute needs a cycle count")
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil || n == 0 {
+				return nil, bad("bad cycle count")
+			}
+			t.ops = append(t.ops, cpu.Op{Kind: cpu.OpCompute, Cycles: uint32(n)})
+		case "l", "s":
+			if len(fields) != 2 {
+				return nil, bad("memory op needs an address")
+			}
+			addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+			if err != nil {
+				return nil, bad("bad address")
+			}
+			kind := cpu.OpLoad
+			if fields[0] == "s" {
+				kind = cpu.OpStore
+			}
+			t.ops = append(t.ops, cpu.Op{Kind: kind, Addr: addr})
+		case "b":
+			t.ops = append(t.ops, cpu.Op{Kind: cpu.OpBarrier})
+		default:
+			return nil, bad("unknown op")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("npb: reading trace: %w", err)
+	}
+	return t, nil
+}
+
+// Len returns the op count.
+func (t *Trace) Len() int { return len(t.ops) }
+
+// Barriers returns the barrier count (threads sharing a barrier group
+// must agree on it).
+func (t *Trace) Barriers() int {
+	n := 0
+	for _, op := range t.ops {
+		if op.Kind == cpu.OpBarrier {
+			n++
+		}
+	}
+	return n
+}
+
+// Stream returns a replayable cpu.Stream over the trace.
+func (t *Trace) Stream() cpu.Stream { return &traceStream{t: t} }
+
+type traceStream struct {
+	t *Trace
+	i int
+}
+
+func (s *traceStream) Next() cpu.Op {
+	if s.i >= len(s.t.ops) {
+		return cpu.Op{Kind: cpu.OpDone}
+	}
+	op := s.t.ops[s.i]
+	s.i++
+	return op
+}
+
+// ExportTrace writes a stream in the trace format until its Done op,
+// so synthetic kernels can be captured, edited and replayed. The op
+// budget guards against exporting an endless stream.
+func ExportTrace(w io.Writer, s cpu.Stream, maxOps int) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < maxOps; i++ {
+		op := s.Next()
+		switch op.Kind {
+		case cpu.OpCompute:
+			fmt.Fprintf(bw, "c %d\n", op.Cycles)
+		case cpu.OpLoad:
+			fmt.Fprintf(bw, "l 0x%x\n", op.Addr)
+		case cpu.OpStore:
+			fmt.Fprintf(bw, "s 0x%x\n", op.Addr)
+		case cpu.OpBarrier:
+			fmt.Fprintln(bw, "b")
+		case cpu.OpDone:
+			return bw.Flush()
+		default:
+			return fmt.Errorf("npb: cannot export op kind %d", op.Kind)
+		}
+	}
+	return fmt.Errorf("npb: stream exceeded %d ops without finishing", maxOps)
+}

@@ -1,0 +1,85 @@
+// Package parallel provides the small data-parallel helpers shared by
+// the thermal solver's linear algebra and the workload sweeps: a
+// blocked parallel-for and a parallel reduction, both sized to
+// GOMAXPROCS and falling back to serial execution for small ranges
+// where goroutine fan-out would cost more than it saves.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// serialCutoff is the range size below which For and ReduceSum run
+// serially; spawning goroutines for tiny loops is a net loss.
+const serialCutoff = 2048
+
+// For runs fn(lo, hi) over disjoint sub-ranges covering [0, n),
+// in parallel across up to GOMAXPROCS goroutines. fn must not assume
+// any particular ordering between blocks.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < serialCutoff || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	block := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceSum evaluates fn over [0, n) in parallel blocks, where fn
+// returns the partial sum of its block, and returns the total. The
+// per-block partials are accumulated in block order so the result is
+// deterministic for a fixed n and GOMAXPROCS.
+func ReduceSum(n int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < serialCutoff || workers <= 1 {
+		return fn(0, n)
+	}
+	if workers > n {
+		workers = n
+	}
+	block := (n + workers - 1) / workers
+	nblocks := (n + block - 1) / block
+	partial := make([]float64, nblocks)
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			partial[b] = fn(lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}

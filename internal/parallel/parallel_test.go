@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)
+		hits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Explicitly cover the parallel path (above the serial cutoff).
+	n := serialCutoff * 3
+	hits := make([]int32, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Error("For must not invoke fn for empty ranges")
+	}
+}
+
+func TestReduceSumMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, serialCutoff, serialCutoff*4 + 17} {
+		got := ReduceSum(n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		want := float64(n) * float64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("n=%d: got %g want %g", n, got, want)
+		}
+	}
+}
+
+func TestReduceSumDeterministic(t *testing.T) {
+	n := serialCutoff * 5
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += 1.0 / float64(i+1)
+		}
+		return s
+	}
+	first := ReduceSum(n, body)
+	for i := 0; i < 10; i++ {
+		if got := ReduceSum(n, body); got != first {
+			t.Fatalf("run %d: %v != %v (non-deterministic reduction)", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package power_test
+
+import (
+	"fmt"
+
+	"waterimm/internal/power"
+)
+
+// The VFS table of Table 1's low-power CMP: 11 steps from 1.0 to
+// 2.0 GHz, hitting the specified 47.2 W at the top step.
+func ExampleModel_Steps() {
+	steps := power.LowPower.Steps()
+	first, last := steps[0], steps[len(steps)-1]
+	fmt.Printf("%d steps: %.1f GHz %.1f W ... %.1f GHz %.1f W\n",
+		len(steps), first.GHz(), first.TotalW(), last.GHz(), last.TotalW())
+	// Output:
+	// 11 steps: 1.0 GHz 12.8 W ... 2.0 GHz 47.2 W
+}
+
+// The alpha-power law maps a frequency ratio to the minimum voltage
+// able to sustain it.
+func ExampleTech_VoltageFor() {
+	v := power.Tech22HP.VoltageFor(0.8)
+	fmt.Printf("80%% speed needs %.2f V of %.2f V\n", v, power.Tech22HP.VddMax)
+	// Output:
+	// 80% speed needs 0.73 V of 0.90 V
+}

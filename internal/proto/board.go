@@ -1,0 +1,137 @@
+// Package proto models the paper's physical in-water prototypes —
+// the hardware we cannot rebuild in software — as calibrated
+// behavioural models (see the substitution notes in DESIGN.md):
+//
+//   - a lumped thermal circuit of the parylene-coated PRIMERGY
+//     TX1320 M2 server reproducing the Figure 4 measurement
+//     (air 76 °C, heatsink-in-water 71 °C, full immersion 56 °C);
+//   - a stochastic component-lifetime model of the five test boards
+//     of Section 2.2, seeded with the observed failure set;
+//   - a natural-water deployment model for the Tokyo Bay experiment
+//     of Section 4.4.3 (biofouling, seawater stress, the 53-day
+//     record).
+package proto
+
+import (
+	"fmt"
+
+	"waterimm/internal/material"
+)
+
+// CoolingMode is one of the three Figure 4 options.
+type CoolingMode int
+
+// The three prototype cooling options of Section 2.4.
+const (
+	// ModeAir places the motherboard next to a high-speed fan.
+	ModeAir CoolingMode = iota
+	// ModeHeatsinkInWater immerses only the heatsink.
+	ModeHeatsinkInWater
+	// ModeFullImmersion sinks the whole film-coated board.
+	ModeFullImmersion
+)
+
+func (m CoolingMode) String() string {
+	switch m {
+	case ModeAir:
+		return "air"
+	case ModeHeatsinkInWater:
+		return "heatsink-in-water"
+	case ModeFullImmersion:
+		return "full-immersion"
+	}
+	return fmt.Sprintf("CoolingMode(%d)", int(m))
+}
+
+// Board is the lumped thermal circuit of a coated server board. The
+// junction feeds two parallel paths: up through TIM/spreader/heatsink
+// into the sink's coolant, and down through the package and PCB into
+// the board's coolant. Which coolant each path sees depends on the
+// cooling mode.
+type Board struct {
+	// Name identifies the prototype.
+	Name string
+	// PowerW is the CPU package power under the stress workload.
+	PowerW float64
+	// RJunctionSink is the junction→heatsink-surface conduction
+	// resistance (TIM, spreader, sink base) in K/W.
+	RJunctionSink float64
+	// RJunctionBoard is the junction→board-surface conduction
+	// resistance (package substrate, socket, PCB) in K/W.
+	RJunctionBoard float64
+	// SinkArea is the heatsink's convective (fin) area in m²;
+	// BoardArea the wetted board area.
+	SinkArea, BoardArea float64
+	// AirH is the forced-air film coefficient of the fan setup;
+	// BoardAirH the natural convection on the board in air.
+	AirH, BoardAirH float64
+	// Film is the parylene coating (thickness m, conductivity
+	// W/(m·K)) in series with every water-wetted surface except the
+	// heatsink, which is mounted over a broken film window.
+	FilmThickness, FilmK float64
+	// AmbientC is the room / water temperature.
+	AmbientC float64
+}
+
+// TX1320 returns the FUJITSU PRIMERGY TX1320 M2 prototype (Xeon
+// E3-1270v5 at 3.6 GHz), calibrated to the Figure 4 measurements.
+func TX1320() Board {
+	return Board{
+		Name:           "PRIMERGY TX1320 M2 (Xeon E3-1270v5)",
+		PowerW:         70,
+		RJunctionSink:  0.77,
+		RJunctionBoard: 1.02,
+		SinkArea:       0.25,
+		BoardArea:      0.10,
+		AirH:           37.6,
+		BoardAirH:      3,
+		FilmThickness:  150e-6,
+		FilmK:          material.Parylene.Conductivity,
+		AmbientC:       25,
+	}
+}
+
+// filmCoeff composes water convection with the parylene film.
+func (b Board) filmCoeff(h float64) float64 {
+	return 1 / (1/h + b.FilmThickness/b.FilmK)
+}
+
+// ChipTempC returns the steady-state junction temperature for a
+// cooling mode.
+func (b Board) ChipTempC(mode CoolingMode) float64 {
+	waterH := material.Water.H
+	// Sink path: the film is broken on the heat-spreader window
+	// (Section 2.1), so the sink faces its coolant directly.
+	var sinkConv float64
+	switch mode {
+	case ModeAir:
+		sinkConv = 1 / (b.AirH * b.SinkArea)
+	default:
+		sinkConv = 1 / (waterH * b.SinkArea)
+	}
+	rSink := b.RJunctionSink + sinkConv
+
+	// Board path: wetted only under full immersion; the film stays
+	// intact there.
+	var rBoard float64
+	switch mode {
+	case ModeFullImmersion:
+		rBoard = b.RJunctionBoard + 1/(b.filmCoeff(waterH)*b.BoardArea)
+	default:
+		rBoard = b.RJunctionBoard + 1/(b.BoardAirH*b.BoardArea)
+	}
+
+	rTotal := 1 / (1/rSink + 1/rBoard)
+	return b.AmbientC + b.PowerW*rTotal
+}
+
+// Fig4 returns the three Figure 4 bars in °C: air, heatsink-in-water,
+// full immersion.
+func Fig4() map[string]float64 {
+	b := TX1320()
+	return map[string]float64{
+		ModeAir.String():             b.ChipTempC(ModeAir),
+		ModeHeatsinkInWater.String(): b.ChipTempC(ModeHeatsinkInWater),
+		ModeFullImmersion.String():   b.ChipTempC(ModeFullImmersion),
+	}
+}

@@ -1,0 +1,17 @@
+package proto_test
+
+import (
+	"fmt"
+
+	"waterimm/internal/proto"
+)
+
+// The Figure 4 measurement, reproduced by the calibrated board model:
+// full immersion takes the Xeon E3 prototype from 76 °C to 56 °C.
+func ExampleBoard_ChipTempC() {
+	b := proto.TX1320()
+	fmt.Printf("air %.0f C, full immersion %.0f C\n",
+		b.ChipTempC(proto.ModeAir), b.ChipTempC(proto.ModeFullImmersion))
+	// Output:
+	// air 76 C, full immersion 56 C
+}

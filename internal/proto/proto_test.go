@@ -1,0 +1,207 @@
+package proto
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig4Measurements(t *testing.T) {
+	// Section 2.4: air 76 °C, heatsink-in-water 71 °C, full immersion
+	// 56 °C.
+	got := Fig4()
+	want := map[string]float64{"air": 76, "heatsink-in-water": 71, "full-immersion": 56}
+	for mode, temp := range want {
+		if math.Abs(got[mode]-temp) > 1.0 {
+			t.Errorf("%s: %.1f C, paper measured %.0f", mode, got[mode], temp)
+		}
+	}
+}
+
+func TestFig4Ordering(t *testing.T) {
+	b := TX1320()
+	air := b.ChipTempC(ModeAir)
+	hs := b.ChipTempC(ModeHeatsinkInWater)
+	full := b.ChipTempC(ModeFullImmersion)
+	if !(air > hs && hs > full) {
+		t.Errorf("cooling modes out of order: %.1f / %.1f / %.1f", air, hs, full)
+	}
+	// The paper's headline: ~20 °C reduction from air to full
+	// immersion, but only ~5 °C from immersing just the heatsink.
+	if d := air - full; d < 15 || d > 25 {
+		t.Errorf("full-immersion gain %.1f C outside the 20 C class", d)
+	}
+	if d := air - hs; d < 2 || d > 9 {
+		t.Errorf("heatsink-only gain %.1f C outside the 5 C class", d)
+	}
+}
+
+func TestCoolingModeString(t *testing.T) {
+	if ModeAir.String() != "air" || CoolingMode(9).String() == "" {
+		t.Error("CoolingMode.String misbehaves")
+	}
+}
+
+func TestComponentCalibration(t *testing.T) {
+	// Expected failures over 5 boards x 2 years must match the
+	// observed campaign: PCIe×4 ~5/5, RJ45 and mPCIe ~1/5 each.
+	find := func(name string) Component {
+		for _, c := range Components() {
+			if c.Name == name {
+				return c
+			}
+		}
+		t.Fatalf("no component %s", name)
+		return Component{}
+	}
+	pFail := func(rate, years float64) float64 { return 1 - math.Exp(-rate*years) }
+	if p := pFail(find("pciex4").FailRatePerYear, 2); p < 0.9 {
+		t.Errorf("P(pciex4 fails in 2y) = %.2f; all five failed in the campaign", p)
+	}
+	for _, name := range []string{"rj45", "mpcie"} {
+		if p := pFail(find(name).FailRatePerYear, 2); p < 0.1 || p > 0.35 {
+			t.Errorf("P(%s fails in 2y) = %.2f; one of five failed", name, p)
+		}
+	}
+	for _, name := range []string{"usb", "pga", "mega-avr"} {
+		if p := pFail(find(name).FailRatePerYear, 2); p > 0.1 {
+			t.Errorf("P(%s fails in 2y) = %.2f; none failed", name, p)
+		}
+	}
+	if find("cr2032").DischargeYears <= 0 {
+		t.Error("the micro cell must discharge")
+	}
+}
+
+func TestFleetDeterministicAndCalibrated(t *testing.T) {
+	a := SimulateFleet(5, 2, nil, 42)
+	b := SimulateFleet(5, 2, nil, 42)
+	if len(a.Failures) != len(b.Failures) {
+		t.Fatal("same seed must reproduce the same campaign")
+	}
+	counts := a.CountByComponent()
+	if counts["pciex4"] < 4 {
+		t.Errorf("expected ~5 PCIe×4 faults, got %d", counts["pciex4"])
+	}
+	if counts["cr2032"] != 5 {
+		t.Errorf("all five micro cells discharge within 2 years, got %d", counts["cr2032"])
+	}
+	if s := a.String(); !strings.Contains(s, "pciex4") {
+		t.Error("report must list component classes")
+	}
+}
+
+func TestMaskingExtendsLifetime(t *testing.T) {
+	unmasked := ExpectedBoardLifetimeYears(nil)
+	masked := ExpectedBoardLifetimeYears(MaskRecommended())
+	if masked <= unmasked {
+		t.Fatalf("masking must extend lifetime: %.2f vs %.2f years", masked, unmasked)
+	}
+	// Section 2.3: "a couple of years" with the recommended masking.
+	if masked < 1.5 || masked > 6 {
+		t.Errorf("masked lifetime %.1f years outside the couple-of-years claim", masked)
+	}
+	if unmasked > 1 {
+		t.Errorf("unmasked boards die fast (PCIe leaks); got %.1f years", unmasked)
+	}
+}
+
+func TestMaskedFleetSurvivesBetter(t *testing.T) {
+	const boards = 200
+	bare := SimulateFleet(boards, 2, nil, 7)
+	masked := SimulateFleet(boards, 2, MaskRecommended(), 7)
+	if masked.SurvivedBoards <= bare.SurvivedBoards {
+		t.Errorf("masking must help: %d vs %d survivors", masked.SurvivedBoards, bare.SurvivedBoards)
+	}
+}
+
+func TestDischargeIsNotElectricalFault(t *testing.T) {
+	// A board whose only event is the battery discharge still counts
+	// as electrically sound.
+	rep := SimulateFleet(50, 2, map[string]bool{
+		"pciex4": true, "rj45": true, "mpcie": true, "memory-slot": true,
+		"usb": true, "pga": true, "mega-avr": true,
+	}, 3)
+	discharges := 0
+	for _, f := range rep.Failures {
+		if f.Discharged {
+			discharges++
+		}
+	}
+	if discharges != 50 {
+		t.Errorf("every unmasked battery discharges within 2 years, got %d/50", discharges)
+	}
+	// Survival is limited by the in-air memory-slot rate (0.25/yr,
+	// which the paper also saw out of water): expect roughly
+	// exp(-0.57) ≈ 57 % of boards fault-free, and well above the
+	// unmasked fleet.
+	if rep.SurvivedBoards < 18 {
+		t.Errorf("fully masked fleet should keep most boards, got %d/50", rep.SurvivedBoards)
+	}
+	if bare := SimulateFleet(50, 2, nil, 3); rep.SurvivedBoards <= bare.SurvivedBoards {
+		t.Errorf("masking everything must beat masking nothing: %d vs %d",
+			rep.SurvivedBoards, bare.SurvivedBoards)
+	}
+}
+
+func TestDeploymentEnvironments(t *testing.T) {
+	sea := NewDeployment(EnvSea)
+	tap := NewDeployment(EnvTap)
+	if sea.MedianUptimeDays() >= tap.MedianUptimeDays() {
+		t.Error("sea deployment must be harsher than the laboratory tank")
+	}
+	// The Tokyo Bay record was 53 days; the model's median should be
+	// the same order.
+	if d := sea.MedianUptimeDays(); d < 20 || d > 110 {
+		t.Errorf("sea median uptime %.0f days far from the 53-day record", d)
+	}
+}
+
+func TestFoulingDegradesConvection(t *testing.T) {
+	sea := NewDeployment(EnvSea)
+	h0 := sea.EffectiveH(800, 0)
+	h53 := sea.EffectiveH(800, 53)
+	hLong := sea.EffectiveH(800, 10000)
+	if h0 != 800 {
+		t.Errorf("day 0 must be clean: %.0f", h0)
+	}
+	if !(h53 < h0 && hLong < h53) {
+		t.Error("fouling must degrade convection monotonically")
+	}
+	if hLong < 800*0.29 {
+		t.Errorf("fouling floor breached: %.0f", hLong)
+	}
+	tap := NewDeployment(EnvTap)
+	if tap.EffectiveH(800, 365) != 800 {
+		t.Error("tap water tank must not foul")
+	}
+}
+
+func TestSeasonalWaterProfiles(t *testing.T) {
+	for _, b := range WaterBodies() {
+		if b.String() == "" {
+			t.Errorf("body %d unnamed", int(b))
+		}
+		if b.WarmestC() < b.CoolestC() {
+			t.Errorf("%s: warmest below coolest", b)
+		}
+		// The profile must stay within its bounds all year.
+		for day := 0.0; day <= 365; day += 7 {
+			temp := b.WaterTempC(day)
+			if temp < b.CoolestC()-1e-9 || temp > b.WarmestC()+1e-9 {
+				t.Errorf("%s day %.0f: %.2f C outside [%.2f, %.2f]", b, day, temp, b.CoolestC(), b.WarmestC())
+			}
+		}
+	}
+	bay := BodyTokyoBay
+	// Tokyo Bay peaks in late August, not February.
+	if bay.WaterTempC(235) < bay.WaterTempC(50) {
+		t.Error("Tokyo Bay must be warmer in August than February")
+	}
+	if BodyChilledTank.WaterTempC(0) != BodyChilledTank.WaterTempC(180) {
+		t.Error("the chilled tank must not have seasons")
+	}
+	if BodyDeepLake.WarmestC()-BodyDeepLake.CoolestC() > 3 {
+		t.Error("a deep-lake intake is nearly isothermal")
+	}
+}

@@ -1,0 +1,84 @@
+package proto
+
+import "math"
+
+// Seasonal water-temperature models for the natural-water deployment
+// scenarios of Section 4.4. The coolant temperature is the thermal
+// model's ambient, so the season directly moves every junction
+// temperature — and hence the planner's feasible frequency. The
+// profiles are sinusoidal year cycles fitted to published
+// climatology-class numbers:
+//
+//   - Tokyo Bay surface water: ~8 °C in February to ~27 °C in August;
+//   - a temperate river: ~4 °C to ~22 °C;
+//   - a deep lake intake (CSCS-style): ~6 °C year-round;
+//   - a machine-room chiller loop: constant 25 °C (the Table 2
+//     baseline).
+type WaterBody int
+
+// Water bodies for deployment studies.
+const (
+	BodyTokyoBay WaterBody = iota
+	BodyRiver
+	BodyDeepLake
+	BodyChilledTank
+)
+
+func (b WaterBody) String() string {
+	switch b {
+	case BodyTokyoBay:
+		return "tokyo-bay"
+	case BodyRiver:
+		return "river"
+	case BodyDeepLake:
+		return "deep-lake"
+	case BodyChilledTank:
+		return "chilled-tank"
+	}
+	return "water-body"
+}
+
+// WaterBodies lists the deployment options.
+func WaterBodies() []WaterBody {
+	return []WaterBody{BodyTokyoBay, BodyRiver, BodyDeepLake, BodyChilledTank}
+}
+
+// seasonalProfile holds a sinusoidal annual cycle.
+type seasonalProfile struct {
+	meanC, amplitudeC float64
+	// peakDay is the day-of-year of the warmest water (thermal lag
+	// puts coastal water peaks in late August).
+	peakDay float64
+}
+
+func profileOf(b WaterBody) seasonalProfile {
+	switch b {
+	case BodyTokyoBay:
+		return seasonalProfile{meanC: 17.5, amplitudeC: 9.5, peakDay: 235}
+	case BodyRiver:
+		return seasonalProfile{meanC: 13, amplitudeC: 9, peakDay: 215}
+	case BodyDeepLake:
+		return seasonalProfile{meanC: 6, amplitudeC: 1, peakDay: 235}
+	default:
+		return seasonalProfile{meanC: 25, amplitudeC: 0, peakDay: 0}
+	}
+}
+
+// WaterTempC returns the body's water temperature on a day of year
+// (0-365).
+func (b WaterBody) WaterTempC(dayOfYear float64) float64 {
+	p := profileOf(b)
+	return p.meanC + p.amplitudeC*math.Cos(2*math.Pi*(dayOfYear-p.peakDay)/365)
+}
+
+// WarmestC and CoolestC bound the annual cycle.
+func (b WaterBody) WarmestC() float64 {
+	p := profileOf(b)
+	return p.meanC + p.amplitudeC
+}
+
+// CoolestC returns the annual minimum water temperature.
+func (b WaterBody) CoolestC() float64 {
+	p := profileOf(b)
+	return p.meanC - p.amplitudeC
+}

@@ -1,0 +1,19 @@
+package pue_test
+
+import (
+	"fmt"
+
+	"waterimm/internal/pue"
+)
+
+// Direct immersion under natural water removes the secondary cooling
+// loop entirely: the only overhead left is power distribution.
+func ExampleFacility_PUE() {
+	for _, f := range pue.StandardFacilities(1000) {
+		if f.Secondary == pue.SecondaryNone {
+			fmt.Printf("%.3f\n", f.PUE())
+		}
+	}
+	// Output:
+	// 1.050
+}

@@ -1,0 +1,199 @@
+// Package pue models datacenter cooling facilities at the macro level
+// of Section 4.4: a primary coolant facing the chips, an optional
+// secondary loop cooling the primary, and the pumps/chillers/fans
+// whose overhead sets the power usage effectiveness (PUE). The
+// paper's argument is qualitative — direct immersion in natural water
+// removes the secondary loop entirely and approaches PUE 1.00 — and
+// this package makes the bookkeeping behind that argument executable.
+package pue
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"waterimm/internal/material"
+)
+
+// Secondary enumerates secondary-cooling technologies.
+type Secondary int
+
+// Secondary loop options.
+const (
+	// SecondaryNone: the primary coolant is the environment itself
+	// (direct natural-water immersion).
+	SecondaryNone Secondary = iota
+	// SecondaryChiller: compressor-based chilled water/air.
+	SecondaryChiller
+	// SecondaryDryCooler: outside-air heat exchanger with fans.
+	SecondaryDryCooler
+	// SecondaryCoolingTower: evaporative tower.
+	SecondaryCoolingTower
+	// SecondaryNaturalWater: pumped lake/sea water loop (CSCS-style,
+	// pumped over distance).
+	SecondaryNaturalWater
+)
+
+func (s Secondary) String() string {
+	switch s {
+	case SecondaryNone:
+		return "none (direct)"
+	case SecondaryChiller:
+		return "chiller"
+	case SecondaryDryCooler:
+		return "dry cooler"
+	case SecondaryCoolingTower:
+		return "cooling tower"
+	case SecondaryNaturalWater:
+		return "pumped natural water"
+	}
+	return fmt.Sprintf("Secondary(%d)", int(s))
+}
+
+// overheadFraction returns the secondary loop's power draw as a
+// fraction of the heat it rejects. Chillers pay a full compression
+// cycle (1/COP); dry coolers and towers pay fans; pumped natural
+// water pays pipeline pumps.
+func (s Secondary) overheadFraction() float64 {
+	switch s {
+	case SecondaryNone:
+		return 0
+	case SecondaryChiller:
+		return 0.285 // COP ≈ 3.5
+	case SecondaryDryCooler:
+		return 0.035
+	case SecondaryCoolingTower:
+		return 0.02
+	case SecondaryNaturalWater:
+		return 0.03 // CSCS pumps lake water 2.8 km
+	}
+	return 0
+}
+
+// Facility is one cooling configuration.
+type Facility struct {
+	Name string
+	// Primary is the coolant that faces the chips.
+	Primary material.Coolant
+	// PrimaryPumpFraction is the primary loop's circulation power as
+	// a fraction of IT load (fans for air, pumps for liquid loops,
+	// zero for passive natural-convection immersion).
+	PrimaryPumpFraction float64
+	// Secondary cools the primary.
+	Secondary Secondary
+	// ITLoadKW is the IT equipment power.
+	ITLoadKW float64
+	// PowerDistributionFraction covers UPS/distribution losses.
+	PowerDistributionFraction float64
+	// CapexPerKW is the cooling plant's build cost premium in USD per
+	// kW of IT load (tanks, plumbing, enclosures) over a bare room.
+	CapexPerKW float64
+}
+
+// PUE returns total facility power over IT power.
+func (f Facility) PUE() float64 {
+	if f.ITLoadKW <= 0 {
+		return 0
+	}
+	cooling := f.PrimaryPumpFraction + f.Secondary.overheadFraction()
+	return 1 + cooling + f.PowerDistributionFraction
+}
+
+// CoolantCostUSD estimates the cost of filling the immersion tanks:
+// litres per kW of IT load times the coolant's unit cost. Air and
+// cold plates need no tank volume.
+func (f Facility) CoolantCostUSD(litresPerKW float64) float64 {
+	if !f.Primary.Immersive {
+		return 0
+	}
+	return f.Primary.UnitCostPerLitre * litresPerKW * f.ITLoadKW
+}
+
+// StandardFacilities returns the comparison set of Section 4.4: the
+// conventional options, the warm-water-pipe design (ABCI-class), and
+// direct immersion under natural water with an ideal PUE.
+func StandardFacilities(itLoadKW float64) []Facility {
+	return []Facility{
+		{
+			Name:    "air + chiller",
+			Primary: material.Air, PrimaryPumpFraction: 0.10,
+			Secondary: SecondaryChiller, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.08,
+			CapexPerKW:                250, // chiller plant + CRAC units
+		},
+		{
+			Name:    "warm-water pipes + dry cooler (ABCI-style)",
+			Primary: material.WaterPipe, PrimaryPumpFraction: 0.03,
+			Secondary: SecondaryDryCooler, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.06,
+			CapexPerKW:                200,
+		},
+		{
+			Name:    "oil immersion + cooling tower (GRC-style)",
+			Primary: material.MineralOil, PrimaryPumpFraction: 0.015,
+			Secondary: SecondaryCoolingTower, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.05,
+			CapexPerKW:                300, // tanks + handling
+		},
+		{
+			Name:    "fluorinert immersion + cooling tower",
+			Primary: material.Fluorinert, PrimaryPumpFraction: 0.015,
+			Secondary: SecondaryCoolingTower, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.05,
+			CapexPerKW:                300,
+		},
+		{
+			Name:    "water immersion, tank + pumped natural water",
+			Primary: material.Water, PrimaryPumpFraction: 0.01,
+			Secondary: SecondaryNaturalWater, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.05,
+			CapexPerKW:                280, // coated boards + tanks
+		},
+		{
+			Name:    "water immersion, direct under natural water",
+			Primary: material.Water, PrimaryPumpFraction: 0,
+			Secondary: SecondaryNone, ITLoadKW: itLoadKW,
+			PowerDistributionFraction: 0.05,
+			CapexPerKW:                450, // marine enclosures, anchoring
+		},
+	}
+}
+
+// TCOUSD returns the cooling-related total cost of ownership over a
+// horizon: plant capex, the coolant fill, and the electricity burnt
+// by everything above the IT load itself.
+func (f Facility) TCOUSD(years, usdPerKWh, litresPerKW float64) float64 {
+	capex := f.CapexPerKW*f.ITLoadKW + f.CoolantCostUSD(litresPerKW)
+	overheadKW := (f.PUE() - 1) * f.ITLoadKW
+	opex := overheadKW * usdPerKWh * 8760 * years
+	return capex + opex
+}
+
+// BreakEvenYears returns when facility f's lower running cost has
+// paid back its capex premium over facility g (math.Inf(1) when f
+// never catches up).
+func (f Facility) BreakEvenYears(g Facility, usdPerKWh, litresPerKW float64) float64 {
+	capexF := f.CapexPerKW*f.ITLoadKW + f.CoolantCostUSD(litresPerKW)
+	capexG := g.CapexPerKW*g.ITLoadKW + g.CoolantCostUSD(litresPerKW)
+	opexF := (f.PUE() - 1) * f.ITLoadKW * usdPerKWh * 8760
+	opexG := (g.PUE() - 1) * g.ITLoadKW * usdPerKWh * 8760
+	if opexF >= opexG {
+		return math.Inf(1)
+	}
+	return (capexF - capexG) / (opexG - opexF)
+}
+
+// CompareTable renders PUE and coolant cost for a facility set.
+func CompareTable(facilities []Facility, litresPerKW float64) string {
+	sorted := make([]Facility, len(facilities))
+	copy(sorted, facilities)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PUE() > sorted[j].PUE() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %-22s %6s %12s\n", "facility", "secondary", "PUE", "coolant $")
+	for _, f := range sorted {
+		fmt.Fprintf(&b, "%-46s %-22s %6.3f %12.0f\n",
+			f.Name, f.Secondary, f.PUE(), f.CoolantCostUSD(litresPerKW))
+	}
+	return b.String()
+}

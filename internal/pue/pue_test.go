@@ -1,0 +1,145 @@
+package pue
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStandardFacilitiesOrdering(t *testing.T) {
+	fs := StandardFacilities(1000)
+	pueOf := func(name string) float64 {
+		for _, f := range fs {
+			if strings.Contains(f.Name, name) {
+				return f.PUE()
+			}
+		}
+		t.Fatalf("no facility matching %q", name)
+		return 0
+	}
+	airChiller := pueOf("air + chiller")
+	warmWater := pueOf("warm-water")
+	oil := pueOf("oil immersion")
+	direct := pueOf("direct under natural water")
+	if !(airChiller > warmWater && warmWater > direct) {
+		t.Errorf("PUE ordering violated: chiller %.3f, warm water %.3f, direct %.3f",
+			airChiller, warmWater, direct)
+	}
+	if !(oil > direct) {
+		t.Errorf("oil immersion %.3f must exceed direct natural water %.3f", oil, direct)
+	}
+	// Section 4.4: direct immersion approaches the ideal; cooling
+	// overhead must be zero (only distribution remains).
+	for _, f := range fs {
+		if strings.Contains(f.Name, "direct") {
+			if cooling := f.PUE() - 1 - f.PowerDistributionFraction; cooling > 1e-9 {
+				t.Errorf("direct natural water has cooling overhead %.4f, want 0", cooling)
+			}
+		}
+	}
+	// Conventional air-cooled datacentres land near the 1.4-1.6
+	// industry norm.
+	if airChiller < 1.3 || airChiller > 1.7 {
+		t.Errorf("air+chiller PUE %.3f outside industry norm", airChiller)
+	}
+}
+
+func TestPUEAlwaysAboveOne(t *testing.T) {
+	for _, f := range StandardFacilities(500) {
+		if f.PUE() < 1 {
+			t.Errorf("%s: PUE %.3f below 1", f.Name, f.PUE())
+		}
+	}
+}
+
+func TestPUEZeroLoad(t *testing.T) {
+	f := Facility{ITLoadKW: 0}
+	if f.PUE() != 0 {
+		t.Error("zero IT load must return 0 (undefined PUE)")
+	}
+}
+
+func TestCoolantCost(t *testing.T) {
+	fs := StandardFacilities(1000)
+	var fluor, oil, water, air float64
+	for _, f := range fs {
+		switch {
+		case strings.Contains(f.Name, "fluorinert"):
+			fluor = f.CoolantCostUSD(30)
+		case strings.Contains(f.Name, "oil"):
+			oil = f.CoolantCostUSD(30)
+		case strings.Contains(f.Name, "tank"):
+			water = f.CoolantCostUSD(30)
+		case strings.Contains(f.Name, "air"):
+			air = f.CoolantCostUSD(30)
+		}
+	}
+	if !(fluor > oil && oil > water) {
+		t.Errorf("coolant cost ordering violated: fluorinert %.0f, oil %.0f, water %.0f", fluor, oil, water)
+	}
+	if air != 0 {
+		t.Errorf("air needs no tank fill, got %.0f", air)
+	}
+}
+
+func TestSecondaryString(t *testing.T) {
+	for _, s := range []Secondary{SecondaryNone, SecondaryChiller, SecondaryDryCooler, SecondaryCoolingTower, SecondaryNaturalWater} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Secondary(") {
+			t.Errorf("missing name for %d", int(s))
+		}
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	out := CompareTable(StandardFacilities(100), 30)
+	if !strings.Contains(out, "PUE") || !strings.Contains(out, "direct") {
+		t.Error("comparison table incomplete")
+	}
+	// Sorted worst-first: the chiller row must appear before the
+	// direct row.
+	if strings.Index(out, "chiller") > strings.Index(out, "direct") {
+		t.Error("table must sort by descending PUE")
+	}
+}
+
+func TestTCO(t *testing.T) {
+	fs := StandardFacilities(1000)
+	find := func(name string) Facility {
+		for _, f := range fs {
+			if strings.Contains(f.Name, name) {
+				return f
+			}
+		}
+		t.Fatalf("no facility %q", name)
+		return Facility{}
+	}
+	air := find("air + chiller")
+	direct := find("direct under natural water")
+	fluor := find("fluorinert")
+	oil := find("oil immersion")
+
+	// Over ten years at 10 c/kWh, the chiller's PUE overhead dwarfs
+	// the immersion capex premium.
+	if a, d := air.TCOUSD(10, 0.10, 30), direct.TCOUSD(10, 0.10, 30); d >= a {
+		t.Errorf("10-year TCO: direct water (%.0f) must undercut air+chiller (%.0f)", d, a)
+	}
+	// Fluorinert's fill cost dominates oil's at identical plant.
+	if fl, o := fluor.TCOUSD(10, 0.10, 30), oil.TCOUSD(10, 0.10, 30); fl <= o {
+		t.Errorf("fluorinert TCO (%.0f) must exceed oil (%.0f)", fl, o)
+	}
+	// Break-even of direct water against the chiller lands within a
+	// datacenter's lifetime; against an identical-PUE facility it is
+	// never.
+	be := direct.BreakEvenYears(air, 0.10, 30)
+	t.Logf("direct water breaks even with air+chiller after %.1f years", be)
+	if be <= 0 || be > 10 {
+		t.Errorf("break-even %.1f years implausible", be)
+	}
+	if v := air.BreakEvenYears(direct, 0.10, 30); !math.IsInf(v, 1) {
+		t.Errorf("the worse-PUE facility can never break even, got %.1f", v)
+	}
+	// TCO grows with horizon.
+	if air.TCOUSD(2, 0.10, 30) >= air.TCOUSD(8, 0.10, 30) {
+		t.Error("TCO must grow with the horizon")
+	}
+}

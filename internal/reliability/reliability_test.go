@@ -1,0 +1,92 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReferencePoint(t *testing.T) {
+	m := Electromigration()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MTTFYears(m.RefTempC); math.Abs(got-m.RefMTTFYears) > 1e-9 {
+		t.Errorf("MTTF at the reference point is %.3f years, want %.0f", got, m.RefMTTFYears)
+	}
+	if af := m.AccelerationFactor(m.RefTempC); math.Abs(af-1) > 1e-12 {
+		t.Errorf("acceleration at reference must be 1, got %g", af)
+	}
+}
+
+func TestTenDegreeRule(t *testing.T) {
+	// The folk "10 °C doubles the failure rate" holds within a factor
+	// for electromigration-class activation energies around 80 °C.
+	m := Electromigration()
+	ratio := m.MTTFYears(70) / m.MTTFYears(80)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("10 C cooler buys %.2fx lifetime; the folk rule says ~2x", ratio)
+	}
+}
+
+func TestMonotonicProperty(t *testing.T) {
+	m := Electromigration()
+	f := func(a, b uint8) bool {
+		ta := 20 + float64(a)/3
+		tb := 20 + float64(b)/3
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return m.MTTFYears(ta) >= m.MTTFYears(tb)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImmersionLifetimeGain(t *testing.T) {
+	// The use case: at the same 2.0 GHz, a 4-chip stack runs ~30 C
+	// cooler under water than air (Figure 15 data); the silicon
+	// lifetime multiple is large.
+	m := Electromigration()
+	gain := m.MTTFYears(44.5) / m.MTTFYears(79.5)
+	t.Logf("79.5 C -> 44.5 C lifetime multiple: %.0fx", gain)
+	if gain < 5 {
+		t.Errorf("a 35 C reduction must multiply lifetime several-fold, got %.1fx", gain)
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	m := Electromigration()
+	full, err := m.MTTFWithDutyCycle(90, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-m.MTTFYears(90)) > 1e-9 {
+		t.Errorf("duty 1 must equal the hot MTTF")
+	}
+	half, err := m.MTTFWithDutyCycle(90, 40, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half <= full || half >= m.MTTFYears(40) {
+		t.Errorf("50%% duty MTTF %.2f must sit between %.2f and %.2f",
+			half, full, m.MTTFYears(40))
+	}
+	if _, err := m.MTTFWithDutyCycle(90, 40, 1.5); err == nil {
+		t.Error("duty > 1 must error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Model{
+		{ActivationEV: 0, RefTempC: 80, RefMTTFYears: 10},
+		{ActivationEV: 0.9, RefTempC: 80, RefMTTFYears: 0},
+		{ActivationEV: 0.9, RefTempC: -300, RefMTTFYears: 10},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

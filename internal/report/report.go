@@ -1,0 +1,244 @@
+// Package report renders experiment results as aligned ASCII tables,
+// bar charts, line charts and heatmaps for the cmd/ tools and the
+// benchmark harness, plus CSV emission for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table writes an aligned table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// CSV writes rows as comma-separated values (values must not contain
+// commas; experiment outputs never do).
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// BarChart draws horizontal bars scaled to width columns.
+func BarChart(w io.Writer, labels []string, values []float64, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	maxv, maxl := 0.0, 0
+	for i, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+		if len(labels[i]) > maxl {
+			maxl = len(labels[i])
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxv * float64(width)))
+		fmt.Fprintf(w, "%-*s %8.3f %s\n", maxl, labels[i], v, strings.Repeat("#", n))
+	}
+}
+
+// Series is one named line of a line chart.
+type Series struct {
+	Name string
+	// Y[i] pairs with the chart's X[i]; NaN marks a missing point
+	// (the figures leave infeasible stacks unplotted).
+	Y []float64
+}
+
+// LineChart draws multiple series against shared x labels on a
+// character grid of the given height.
+func LineChart(w io.Writer, xlabels []string, series []Series, height int) {
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	cols := len(xlabels)
+	marks := "ox+*#@%&"
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*4))
+	}
+	for si, s := range series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || i >= cols {
+				continue
+			}
+			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			grid[row][i*4] = marks[si%len(marks)]
+		}
+	}
+	for r, row := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.2f |%s\n", y, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", cols*4))
+	var xl strings.Builder
+	for _, x := range xlabels {
+		fmt.Fprintf(&xl, "%-4s", x)
+	}
+	fmt.Fprintf(w, "%8s  %s\n", "", strings.TrimRight(xl.String(), " "))
+	for si, s := range series {
+		fmt.Fprintf(w, "%8s  %c = %s\n", "", marks[si%len(marks)], s.Name)
+	}
+}
+
+// Heatmap renders an nx×ny scalar field with shaded characters and a
+// scale line, for the thermal-map figures.
+func Heatmap(w io.Writer, field []float64, nx, ny int) {
+	shades := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	// Row 0 is the floorplan's bottom edge: print top-down.
+	for j := ny - 1; j >= 0; j-- {
+		var row strings.Builder
+		for i := 0; i < nx; i++ {
+			v := field[j*nx+i]
+			idx := int((v - lo) / span * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			row.WriteByte(shades[idx])
+			row.WriteByte(shades[idx])
+		}
+		fmt.Fprintln(w, row.String())
+	}
+	fmt.Fprintf(w, "scale: %.1f°C '%c' … %.1f°C '%c'\n", lo, shades[0], hi, shades[len(shades)-1])
+}
+
+// SortedKeys returns a map's keys in sorted order (deterministic
+// iteration for report output).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// F formats a float compactly for table cells.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// PlanASCII draws labelled rectangles (x, y, w, h in any consistent
+// unit, origin bottom-left) on a character canvas of the given width;
+// the height follows from the outline's aspect ratio. Used by
+// cmd/floorplanner to render packed floorplans.
+func PlanASCII(w io.Writer, outlineW, outlineH float64, rects []PlanRect, cols int) {
+	if cols <= 10 {
+		cols = 60
+	}
+	if outlineW <= 0 || outlineH <= 0 {
+		fmt.Fprintln(w, "(empty outline)")
+		return
+	}
+	rows := int(float64(cols) * outlineH / outlineW / 2) // chars are ~2x taller
+	if rows < 4 {
+		rows = 4
+	}
+	canvas := make([][]byte, rows)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", cols))
+	}
+	put := func(x, y int, ch byte) {
+		if x >= 0 && x < cols && y >= 0 && y < rows {
+			canvas[rows-1-y][x] = ch
+		}
+	}
+	for _, rc := range rects {
+		x0 := int(rc.X / outlineW * float64(cols))
+		x1 := int((rc.X + rc.W) / outlineW * float64(cols))
+		y0 := int(rc.Y / outlineH * float64(rows))
+		y1 := int((rc.Y + rc.H) / outlineH * float64(rows))
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for x := x0; x < x1; x++ {
+			put(x, y0, '-')
+			put(x, y1-1, '-')
+		}
+		for y := y0; y < y1; y++ {
+			put(x0, y, '|')
+			put(x1-1, y, '|')
+		}
+		for i := 0; i < len(rc.Label) && x0+1+i < x1-1; i++ {
+			put(x0+1+i, (y0+y1-1)/2, rc.Label[i])
+		}
+	}
+	for _, row := range canvas {
+		fmt.Fprintln(w, strings.TrimRight(string(row), " "))
+	}
+}
+
+// PlanRect is one rectangle for PlanASCII.
+type PlanRect struct {
+	Label      string
+	X, Y, W, H float64
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "2.5"},
+	})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator")
+	}
+	// The value column must start at the same offset in every row.
+	col := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "2.5") != col {
+		t.Error("columns not aligned")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Errorf("CSV output %q, want %q", b.String(), want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"x", "y"}, []float64{1, 2}, 10)
+	out := b.String()
+	if strings.Count(strings.Split(out, "\n")[1], "#") != 10 {
+		t.Errorf("max bar must span the full width:\n%s", out)
+	}
+	if strings.Count(strings.Split(out, "\n")[0], "#") != 5 {
+		t.Errorf("half bar must span half the width:\n%s", out)
+	}
+}
+
+func TestBarChartZeros(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, []string{"z"}, []float64{0}, 10)
+	if !strings.Contains(b.String(), "0.000") {
+		t.Error("zero bars must still print")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, []string{"1", "2", "3"}, []Series{
+		{Name: "up", Y: []float64{1, 2, 3}},
+		{Name: "gap", Y: []float64{3, math.NaN(), 1}},
+	}, 8)
+	out := b.String()
+	if !strings.Contains(out, "o = up") || !strings.Contains(out, "x = gap") {
+		t.Error("legend missing")
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Error("series points missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, []string{"1"}, []Series{{Name: "none", Y: []float64{math.NaN()}}}, 5)
+	if !strings.Contains(b.String(), "no data") {
+		t.Error("all-NaN chart must say so")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	field := []float64{
+		1, 1, 1, 1,
+		1, 2, 2, 1,
+		1, 2, 9, 1,
+		1, 1, 1, 1,
+	}
+	Heatmap(&b, field, 4, 4)
+	out := b.String()
+	if !strings.Contains(out, "@") {
+		t.Error("hottest cell must use the densest shade")
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("scale line missing")
+	}
+	// Uniform fields must not divide by zero.
+	var u strings.Builder
+	Heatmap(&u, []float64{5, 5, 5, 5}, 2, 2)
+	if !strings.Contains(u.String(), "scale:") {
+		t.Error("uniform heatmap broken")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	keys := SortedKeys(map[string]int{"c": 1, "a": 2, "b": 3})
+	if strings.Join(keys, "") != "abc" {
+		t.Errorf("keys %v not sorted", keys)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F() = %s", F(1.23456, 2))
+	}
+}
+
+func TestPlanASCII(t *testing.T) {
+	var b strings.Builder
+	PlanASCII(&b, 10, 5, []PlanRect{
+		{Label: "core", X: 0, Y: 0, W: 5, H: 5},
+		{Label: "l2", X: 5, Y: 0, W: 5, H: 5},
+	}, 40)
+	out := b.String()
+	if !strings.Contains(out, "core") || !strings.Contains(out, "l2") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "-") {
+		t.Error("rectangle borders missing")
+	}
+	var e strings.Builder
+	PlanASCII(&e, 0, 0, nil, 40)
+	if !strings.Contains(e.String(), "empty") {
+		t.Error("empty outline must say so")
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run(nil)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time %d, want 30", k.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run(nil)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered at %d: %v", i, v)
+		}
+	}
+}
+
+func TestRandomOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var times []Time
+		var fired []Time
+		for i := 0; i < 200; i++ {
+			at := Time(rng.Intn(1000))
+			times = append(times, at)
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		k.Run(nil)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for i := range times {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic when scheduling in the past")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run(nil)
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var depth int
+	var schedule func()
+	schedule = func() {
+		if depth < 5 {
+			depth++
+			k.After(7, schedule)
+		}
+	}
+	schedule()
+	k.Run(nil)
+	if k.Now() != 35 {
+		t.Errorf("5 nested 7-tick delays should end at 35, got %d", k.Now())
+	}
+	if k.Executed != 5 {
+		t.Errorf("executed %d events, want 5", k.Executed)
+	}
+}
+
+func TestRunStopPredicate(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i), func() { count++ })
+	}
+	k.Run(func() bool { return count >= 4 })
+	if count != 4 {
+		t.Errorf("stop predicate let %d events through, want 4", count)
+	}
+	if k.Pending() != 6 {
+		t.Errorf("%d events pending, want 6", k.Pending())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunFor(20)
+	if len(fired) != 2 {
+		t.Fatalf("RunFor(20) fired %d events, want 2", len(fired))
+	}
+	if k.Now() != 20 {
+		t.Errorf("RunFor must advance the clock to the deadline, got %d", k.Now())
+	}
+}
+
+func TestCycle(t *testing.T) {
+	if c := Cycle(1e9); c != 1_000_000 {
+		t.Errorf("1 GHz cycle = %d fs, want 1e6", c)
+	}
+	if c := Cycle(2e9); c != 500_000 {
+		t.Errorf("2 GHz cycle = %d fs, want 5e5", c)
+	}
+	// 3.6 GHz rounds to the nearest femtosecond.
+	if c := Cycle(3.6e9); c != 277_778 {
+		t.Errorf("3.6 GHz cycle = %d fs, want 277778", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive frequency")
+		}
+	}()
+	Cycle(0)
+}
+
+func TestSeconds(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Errorf("2s = %g", s)
+	}
+	if s := (500 * Millisecond).Seconds(); s != 0.5 {
+		t.Errorf("500ms = %g", s)
+	}
+}

@@ -1,0 +1,260 @@
+package thermal
+
+import "fmt"
+
+// System is the assembled sparse conductance system G·T = q in CSR
+// form. G is symmetric positive definite whenever the model has a
+// path to ambient. Diagonal entries include the ambient conductances;
+// the ambient temperature contribution is folded into q, so the
+// solution is the absolute temperature field in °C.
+type System struct {
+	N        int
+	RowPtr   []int32
+	ColIdx   []int32
+	Val      []float64
+	Q        []float64
+	Diag     []float64
+	Capacity []float64 // heat capacity per node (J/K), for transients
+	model    *Model
+	ambientG []float64 // conductance to ambient per node (W/K)
+}
+
+// coo is a temporary triplet accumulator keyed by (row, col).
+type coo struct {
+	n       int
+	diag    []float64
+	offRow  [][]int32
+	offVal  [][]float64
+	ambient []float64 // conductance to ambient per node
+}
+
+func newCOO(n int) *coo {
+	return &coo{
+		n:       n,
+		diag:    make([]float64, n),
+		offRow:  make([][]int32, n),
+		offVal:  make([][]float64, n),
+		ambient: make([]float64, n),
+	}
+}
+
+// couple adds conductance g between nodes a and b (a ≠ b).
+func (c *coo) couple(a, b int, g float64) {
+	if g <= 0 {
+		return
+	}
+	c.diag[a] += g
+	c.diag[b] += g
+	c.addOff(a, b, -g)
+	c.addOff(b, a, -g)
+}
+
+func (c *coo) addOff(r, col int, v float64) {
+	for k, existing := range c.offRow[r] {
+		if existing == int32(col) {
+			c.offVal[r][k] += v
+			return
+		}
+	}
+	c.offRow[r] = append(c.offRow[r], int32(col))
+	c.offVal[r] = append(c.offVal[r], v)
+}
+
+// tie adds conductance g from node a to the fixed ambient temperature.
+func (c *coo) tie(a int, g float64) {
+	if g <= 0 {
+		return
+	}
+	c.diag[a] += g
+	c.ambient[a] += g
+}
+
+// Assemble builds the CSR system for the model. The returned system
+// is independent of the model's power maps except through Q, so a
+// caller sweeping power levels can rebuild Q cheaply via RefreshQ.
+func Assemble(m *Model) (*System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g := m.Grid
+	nc := g.Cells()
+	n := m.NumNodes()
+	acc := newCOO(n)
+	dx, dy := g.DX(), g.DY()
+	cellArea := dx * dy
+
+	// Lateral conduction within each layer.
+	for l, layer := range m.Layers {
+		gx := layer.K * layer.Thickness * dy / dx
+		gy := layer.K * layer.Thickness * dx / dy
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				a := m.node(l, i, j)
+				if i+1 < g.NX {
+					acc.couple(a, m.node(l, i+1, j), gx)
+				}
+				if j+1 < g.NY {
+					acc.couple(a, m.node(l, i, j+1), gy)
+				}
+			}
+		}
+	}
+
+	// Vertical conduction between adjacent layers: series of the two
+	// half-layer resistances.
+	for l := 0; l+1 < len(m.Layers); l++ {
+		lo, hi := m.Layers[l], m.Layers[l+1]
+		r := lo.Thickness/(2*lo.K) + hi.Thickness/(2*hi.K)
+		gv := cellArea / r
+		for c := 0; c < nc; c++ {
+			acc.couple(l*nc+c, (l+1)*nc+c, gv)
+		}
+	}
+
+	// Convective boundaries.
+	for l, layer := range m.Layers {
+		if layer.EdgeCoeff > 0 {
+			gex := layer.EdgeCoeff * layer.Thickness * dy // west/east faces
+			gey := layer.EdgeCoeff * layer.Thickness * dx // south/north faces
+			for j := 0; j < g.NY; j++ {
+				acc.tie(m.node(l, 0, j), gex)
+				acc.tie(m.node(l, g.NX-1, j), gex)
+			}
+			for i := 0; i < g.NX; i++ {
+				acc.tie(m.node(l, i, 0), gey)
+				acc.tie(m.node(l, i, g.NY-1), gey)
+			}
+		}
+		if layer.TopCoeff > 0 {
+			boost := layer.TopAreaBoost
+			if boost <= 0 {
+				boost = 1
+			}
+			gt := layer.TopCoeff * cellArea * boost
+			for c := 0; c < nc; c++ {
+				acc.tie(m.node(l, 0, 0)+c, gt)
+			}
+		}
+		if layer.BottomCoeff > 0 {
+			gb := layer.BottomCoeff * cellArea
+			for c := 0; c < nc; c++ {
+				acc.tie(m.node(l, 0, 0)+c, gb)
+			}
+		}
+		if layer.ChannelCoeff > 0 {
+			gc := layer.ChannelCoeff * cellArea
+			for c := 0; c < nc; c++ {
+				acc.tie(m.node(l, 0, 0)+c, gc)
+			}
+		}
+	}
+
+	// Lumped extras.
+	for e, extra := range m.Extras {
+		acc.tie(m.extraNode(e), extra.AmbientG)
+	}
+	for _, cp := range m.Couplings {
+		a := m.extraNode(cp.ExtraA)
+		switch {
+		case cp.ExtraB >= 0:
+			acc.couple(a, m.extraNode(cp.ExtraB), cp.G)
+		case cp.EdgeOnly:
+			// Distribute over the layer's boundary cells.
+			cells := boundaryCells(g)
+			per := cp.G / float64(len(cells))
+			for _, c := range cells {
+				acc.couple(a, cp.Layer*nc+c, per)
+			}
+		default:
+			per := cp.G / float64(nc)
+			for c := 0; c < nc; c++ {
+				acc.couple(a, cp.Layer*nc+c, per)
+			}
+		}
+	}
+
+	sys := &System{N: n, model: m}
+	sys.Diag = acc.diag
+	// CSR with the diagonal stored in Val as well (first entry of
+	// each row) so the matvec is a single pass.
+	nnz := n
+	for r := 0; r < n; r++ {
+		nnz += len(acc.offRow[r])
+	}
+	sys.RowPtr = make([]int32, n+1)
+	sys.ColIdx = make([]int32, 0, nnz)
+	sys.Val = make([]float64, 0, nnz)
+	for r := 0; r < n; r++ {
+		sys.RowPtr[r] = int32(len(sys.ColIdx))
+		sys.ColIdx = append(sys.ColIdx, int32(r))
+		sys.Val = append(sys.Val, acc.diag[r])
+		sys.ColIdx = append(sys.ColIdx, acc.offRow[r]...)
+		sys.Val = append(sys.Val, acc.offVal[r]...)
+	}
+	sys.RowPtr[n] = int32(len(sys.ColIdx))
+
+	// Heat capacities (transient only).
+	sys.Capacity = make([]float64, n)
+	for l, layer := range m.Layers {
+		c := layer.VolHeatCap * layer.Thickness * cellArea
+		for k := 0; k < nc; k++ {
+			sys.Capacity[l*nc+k] = c
+		}
+	}
+	for e, extra := range m.Extras {
+		sys.Capacity[m.extraNode(e)] = extra.Cap
+	}
+
+	sys.Q = make([]float64, n)
+	sys.RefreshQ(acc.ambient)
+	// Keep ambient conductances for later Q refreshes.
+	sys.ambientG = acc.ambient
+	return sys, nil
+}
+
+// ambientG is stored so RefreshQ can re-fold ambient after a power
+// map change.
+func (s *System) refreshable() bool { return s.ambientG != nil }
+
+// RefreshQ rebuilds the right-hand side from the model's current
+// power maps and the given per-node ambient conductances.
+func (s *System) RefreshQ(ambient []float64) {
+	m := s.model
+	nc := m.Grid.Cells()
+	for i := range s.Q {
+		s.Q[i] = ambient[i] * m.AmbientC
+	}
+	for l, layer := range m.Layers {
+		if layer.Power == nil {
+			continue
+		}
+		for c, p := range layer.Power {
+			s.Q[l*nc+c] += p
+		}
+	}
+	for e, extra := range m.Extras {
+		s.Q[m.extraNode(e)] += extra.Power
+	}
+}
+
+// UpdatePower re-folds the right-hand side after the caller mutated
+// the model's layer power maps, without reassembling the matrix.
+func (s *System) UpdatePower() error {
+	if !s.refreshable() {
+		return fmt.Errorf("thermal: system not refreshable")
+	}
+	s.RefreshQ(s.ambientG)
+	return nil
+}
+
+// boundaryCells lists the flat indices of a layer's boundary cells.
+func boundaryCells(g Grid) []int {
+	cells := make([]int, 0, 2*g.NX+2*g.NY-4)
+	for i := 0; i < g.NX; i++ {
+		cells = append(cells, i, (g.NY-1)*g.NX+i)
+	}
+	for j := 1; j < g.NY-1; j++ {
+		cells = append(cells, j*g.NX, j*g.NX+g.NX-1)
+	}
+	return cells
+}

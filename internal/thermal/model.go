@@ -1,0 +1,207 @@
+// Package thermal is a HotSpot-6.0-style compact thermal model for
+// 3-D stacked packages: every stack layer (silicon die, die-to-die
+// bond, TIM, heat spreader, heatsink base) is discretised into an
+// nx×ny grid of RC cells over the die footprint; lumped peripheral
+// nodes capture the spreader/heatsink overhang beyond the die, and
+// convective boundary conductances model the coolant. The steady
+// state solves the SPD conductance system G·T = q with a
+// Jacobi-preconditioned conjugate gradient whose matrix-vector
+// product is parallelised; a backward-Euler stepper reuses the same
+// machinery for transient studies.
+//
+// Temperatures are in °C with the coolant/ambient temperature folded
+// into the right-hand side, so the solution vector is directly the
+// temperature field.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid fixes the lateral discretisation shared by all stack layers.
+type Grid struct {
+	// NX, NY are the cell counts along x and y.
+	NX, NY int
+	// W, H are the window dimensions in metres (the die footprint).
+	W, H float64
+}
+
+// Cells returns the number of cells per layer.
+func (g Grid) Cells() int { return g.NX * g.NY }
+
+// DX and DY return the cell pitch in metres.
+func (g Grid) DX() float64 { return g.W / float64(g.NX) }
+func (g Grid) DY() float64 { return g.H / float64(g.NY) }
+
+// Validate checks the grid parameters.
+func (g Grid) Validate() error {
+	if g.NX < 2 || g.NY < 2 {
+		return fmt.Errorf("thermal: grid %dx%d too small", g.NX, g.NY)
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("thermal: non-positive window %gx%g", g.W, g.H)
+	}
+	return nil
+}
+
+// Layer is one homogeneous sheet of the stack, bottom to top.
+type Layer struct {
+	Name string
+	// Thickness in metres and conductivity in W/(m·K).
+	Thickness, K float64
+	// VolHeatCap is ρ·c in J/(m³·K), used by the transient stepper.
+	VolHeatCap float64
+	// Power is the dissipated power per cell in watts (length
+	// NX·NY), or nil for passive layers.
+	Power []float64
+	// EdgeCoeff is the effective film coefficient in W/(m²·K) from
+	// the layer's four lateral faces to the coolant (0 = adiabatic
+	// edges). For coated boards this already includes the parylene
+	// film in series.
+	EdgeCoeff float64
+	// TopCoeff / BottomCoeff are face film coefficients in W/(m²·K)
+	// applied to the cells' top/bottom faces. The builder sets them
+	// only on faces that are actually exposed (topmost layer's top,
+	// bottom layer's bottom); interior faces must stay zero.
+	TopCoeff, BottomCoeff float64
+	// ChannelCoeff, when positive, ties every cell of the layer to
+	// the coolant with this film coefficient over the cell area —
+	// the model of a microchannel layer whose fluid flows through
+	// the stack interior (valid on any layer, unlike the face
+	// coefficients).
+	ChannelCoeff float64
+	// TopAreaBoost multiplies the top-face convection area (finned
+	// heatsinks expose far more surface than their base; Table 2's
+	// 12×12 cm sink carries 0.3024 m²).
+	TopAreaBoost float64
+}
+
+// Extra is a lumped node outside the grid (spreader/heatsink
+// periphery, board). AmbientG ties it to the coolant.
+type Extra struct {
+	Name string
+	// AmbientG is the conductance to ambient in W/K.
+	AmbientG float64
+	// Cap is the lumped heat capacity in J/K for transient runs.
+	Cap float64
+	// Power is an optional direct heat injection in watts.
+	Power float64
+}
+
+// Coupling connects a lumped extra node either to another extra or to
+// every cell of a layer (distributing the conductance uniformly).
+type Coupling struct {
+	// ExtraA is the index of the first extra node.
+	ExtraA int
+	// ExtraB is the index of the second extra node, or -1 when the
+	// coupling targets a layer.
+	ExtraB int
+	// Layer is the target layer index when ExtraB < 0.
+	Layer int
+	// EdgeOnly restricts a layer coupling to the layer's boundary
+	// cells (used for lateral spreading into the periphery node).
+	EdgeOnly bool
+	// G is the total conductance of the coupling in W/K.
+	G float64
+}
+
+// Model is a complete stack ready for assembly.
+type Model struct {
+	Grid Grid
+	// AmbientC is the coolant/ambient temperature in °C.
+	AmbientC  float64
+	Layers    []Layer
+	Extras    []Extra
+	Couplings []Coupling
+}
+
+// Validate checks the model for structural errors before assembly.
+func (m *Model) Validate() error {
+	if err := m.Grid.Validate(); err != nil {
+		return err
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("thermal: model has no layers")
+	}
+	for i, l := range m.Layers {
+		if l.Thickness <= 0 || l.K <= 0 {
+			return fmt.Errorf("thermal: layer %d (%s) needs positive thickness and conductivity", i, l.Name)
+		}
+		if l.Power != nil && len(l.Power) != m.Grid.Cells() {
+			return fmt.Errorf("thermal: layer %d (%s) power map has %d cells, want %d",
+				i, l.Name, len(l.Power), m.Grid.Cells())
+		}
+		if i > 0 && l.BottomCoeff != 0 {
+			return fmt.Errorf("thermal: layer %d (%s) has bottom convection but is not the bottom layer", i, l.Name)
+		}
+		if i < len(m.Layers)-1 && l.TopCoeff != 0 {
+			return fmt.Errorf("thermal: layer %d (%s) has top convection but is not the top layer", i, l.Name)
+		}
+	}
+	for _, c := range m.Couplings {
+		if c.ExtraA < 0 || c.ExtraA >= len(m.Extras) {
+			return fmt.Errorf("thermal: coupling references extra %d out of %d", c.ExtraA, len(m.Extras))
+		}
+		if c.ExtraB >= len(m.Extras) {
+			return fmt.Errorf("thermal: coupling references extra %d out of %d", c.ExtraB, len(m.Extras))
+		}
+		if c.ExtraB < 0 && (c.Layer < 0 || c.Layer >= len(m.Layers)) {
+			return fmt.Errorf("thermal: coupling references layer %d out of %d", c.Layer, len(m.Layers))
+		}
+		if c.G < 0 || math.IsNaN(c.G) {
+			return fmt.Errorf("thermal: coupling has invalid conductance %g", c.G)
+		}
+	}
+	if !m.hasAmbientPath() {
+		return fmt.Errorf("thermal: no path to ambient; the steady state is unbounded")
+	}
+	return nil
+}
+
+// hasAmbientPath reports whether at least one conductance ties the
+// system to the ambient temperature, which is required for the
+// conductance matrix to be non-singular.
+func (m *Model) hasAmbientPath() bool {
+	for _, l := range m.Layers {
+		if l.EdgeCoeff > 0 || l.TopCoeff > 0 || l.BottomCoeff > 0 || l.ChannelCoeff > 0 {
+			return true
+		}
+	}
+	for _, e := range m.Extras {
+		if e.AmbientG > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalPower returns the total heat injected into the model in watts.
+func (m *Model) TotalPower() float64 {
+	var p float64
+	for _, l := range m.Layers {
+		for _, w := range l.Power {
+			p += w
+		}
+	}
+	for _, e := range m.Extras {
+		p += e.Power
+	}
+	return p
+}
+
+// NumNodes returns the unknown count: grid cells of every layer plus
+// the lumped extras.
+func (m *Model) NumNodes() int {
+	return len(m.Layers)*m.Grid.Cells() + len(m.Extras)
+}
+
+// node returns the unknown index of cell (i,j) in layer l.
+func (m *Model) node(l, i, j int) int {
+	return l*m.Grid.Cells() + j*m.Grid.NX + i
+}
+
+// extraNode returns the unknown index of extra e.
+func (m *Model) extraNode(e int) int {
+	return len(m.Layers)*m.Grid.Cells() + e
+}

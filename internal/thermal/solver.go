@@ -1,0 +1,221 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"waterimm/internal/parallel"
+)
+
+// SolveOptions tunes the conjugate-gradient solve.
+type SolveOptions struct {
+	// Tol is the relative residual target ‖r‖/‖q‖; default 1e-9.
+	Tol float64
+	// MaxIter caps CG iterations; default 20·√N + 200.
+	MaxIter int
+	// Guess, if non-nil, seeds the iteration (e.g. the previous VFS
+	// step's field during a frequency sweep).
+	Guess []float64
+}
+
+func (o SolveOptions) withDefaults(n int) SolveOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20*int(math.Sqrt(float64(n))) + 200
+	}
+	return o
+}
+
+// MatVec computes y = G·x using the CSR structure, parallelised over
+// row bands. This is the solver's hot loop.
+func (s *System) MatVec(y, x []float64) {
+	rowPtr, colIdx, val := s.RowPtr, s.ColIdx, s.Val
+	parallel.For(s.N, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var sum float64
+			for k := rowPtr[r]; k < rowPtr[r+1]; k++ {
+				sum += val[k] * x[colIdx[k]]
+			}
+			y[r] = sum
+		}
+	})
+}
+
+func dot(a, b []float64) float64 {
+	return parallel.ReduceSum(len(a), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+}
+
+// SolveSteady solves G·T = q and returns the temperature field.
+func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
+	opt = opt.withDefaults(s.N)
+	n := s.N
+	x := make([]float64, n)
+	if opt.Guess != nil && len(opt.Guess) == n {
+		copy(x, opt.Guess)
+	} else {
+		// Ambient is a reasonable starting field.
+		for i := range x {
+			x[i] = s.model.AmbientC
+		}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	s.MatVec(ap, x)
+	for i := range r {
+		r[i] = s.Q[i] - ap[i]
+	}
+	// Converge relative to the *initial residual*, not ‖q‖: the
+	// transient stepper folds C/Δt·T into q, whose magnitude dwarfs
+	// the physically meaningful imbalance and would make a ‖q‖-based
+	// criterion declare victory before the first iteration.
+	r0norm := math.Sqrt(dot(r, r))
+	if r0norm == 0 {
+		return x, nil
+	}
+	invDiag := make([]float64, n)
+	for i, d := range s.Diag {
+		if d <= 0 {
+			return nil, fmt.Errorf("thermal: non-positive diagonal at node %d (%g); model disconnected from ambient?", i, d)
+		}
+		invDiag[i] = 1 / d
+	}
+	applyPrec := func(z, r []float64) {
+		parallel.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = invDiag[i] * r[i]
+			}
+		})
+	}
+	applyPrec(z, r)
+	copy(p, z)
+	rz := dot(r, z)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		rn := math.Sqrt(dot(r, r))
+		if rn <= opt.Tol*r0norm {
+			return x, nil
+		}
+		s.MatVec(ap, p)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return nil, fmt.Errorf("thermal: CG breakdown (pᵀGp = %g); matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		parallel.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+		})
+		applyPrec(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		parallel.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
+	}
+	rn := math.Sqrt(dot(r, r))
+	return nil, fmt.Errorf("thermal: CG did not converge in %d iterations (residual %.3e, target %.3e)",
+		opt.MaxIter, rn, opt.Tol*r0norm)
+}
+
+// Result packages a solved temperature field with its model for
+// inspection: peak temperature, per-layer maps, per-unit lookups.
+type Result struct {
+	Model *Model
+	// T is the temperature of every node in °C (grid nodes first,
+	// then extras).
+	T []float64
+}
+
+// Solve assembles and steady-state-solves the model in one call.
+func Solve(m *Model, opt SolveOptions) (*Result, error) {
+	sys, err := Assemble(m)
+	if err != nil {
+		return nil, err
+	}
+	t, err := sys.SolveSteady(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Model: m, T: t}, nil
+}
+
+// Max returns the peak temperature in °C across all grid nodes.
+func (r *Result) Max() float64 {
+	nGrid := len(r.Model.Layers) * r.Model.Grid.Cells()
+	max := math.Inf(-1)
+	for _, t := range r.T[:nGrid] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// LayerMax returns the peak temperature of layer l.
+func (r *Result) LayerMax(l int) float64 {
+	nc := r.Model.Grid.Cells()
+	max := math.Inf(-1)
+	for _, t := range r.T[l*nc : (l+1)*nc] {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// LayerMin returns the minimum temperature of layer l.
+func (r *Result) LayerMin(l int) float64 {
+	nc := r.Model.Grid.Cells()
+	min := math.Inf(1)
+	for _, t := range r.T[l*nc : (l+1)*nc] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// LayerMap returns a copy of layer l's temperature field, row-major
+// NX×NY.
+func (r *Result) LayerMap(l int) []float64 {
+	nc := r.Model.Grid.Cells()
+	out := make([]float64, nc)
+	copy(out, r.T[l*nc:(l+1)*nc])
+	return out
+}
+
+// Extra returns the temperature of lumped extra node e.
+func (r *Result) Extra(e int) float64 {
+	return r.T[r.Model.extraNode(e)]
+}
+
+// At returns the temperature of cell (i,j) in layer l.
+func (r *Result) At(l, i, j int) float64 {
+	return r.T[r.Model.node(l, i, j)]
+}
+
+// Mean returns the plain average temperature over all grid cells
+// (useful in tests as a smoothness reference for Max).
+func (r *Result) Mean() float64 {
+	nGrid := len(r.Model.Layers) * r.Model.Grid.Cells()
+	var s float64
+	for _, t := range r.T[:nGrid] {
+		s += t
+	}
+	return s / float64(nGrid)
+}

@@ -1,0 +1,104 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stepper integrates the transient heat equation C·dT/dt = q − G·T
+// with backward Euler: (C/Δt + G)·Tₙ₊₁ = (C/Δt)·Tₙ + q. Backward
+// Euler is unconditionally stable, so the step size is limited only
+// by the accuracy the caller wants — important because package time
+// constants (seconds) and die time constants (sub-millisecond) differ
+// by orders of magnitude.
+//
+// The paper's evaluation is worst-case steady state; the stepper
+// backs the DTM extension (see package dtm) and the transient tests.
+type Stepper struct {
+	sys *System
+	dt  float64
+	// shifted holds the CSR values with C/Δt added on the diagonal.
+	shifted *System
+	// T is the current temperature field; callers may read it
+	// between steps but must not resize it.
+	T    []float64
+	time float64
+}
+
+// NewStepper creates a transient integrator over an assembled system
+// with fixed step dt (seconds), starting from a uniform ambient field.
+func NewStepper(sys *System, dt float64) (*Stepper, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive time step %g", dt)
+	}
+	for i, c := range sys.Capacity {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("thermal: invalid capacity %g at node %d", c, i)
+		}
+	}
+	st := &Stepper{sys: sys, dt: dt, T: make([]float64, sys.N)}
+	for i := range st.T {
+		st.T[i] = sys.model.AmbientC
+	}
+	st.shifted = st.buildShifted()
+	return st, nil
+}
+
+// buildShifted copies the system and adds C/Δt to each diagonal. The
+// diagonal is the first stored entry of every CSR row (see Assemble).
+func (st *Stepper) buildShifted() *System {
+	src := st.sys
+	dst := &System{
+		N:      src.N,
+		RowPtr: src.RowPtr,
+		ColIdx: src.ColIdx,
+		Val:    append([]float64(nil), src.Val...),
+		Diag:   append([]float64(nil), src.Diag...),
+		Q:      make([]float64, src.N),
+		model:  src.model,
+	}
+	for r := 0; r < src.N; r++ {
+		shift := src.Capacity[r] / st.dt
+		dst.Val[src.RowPtr[r]] += shift
+		dst.Diag[r] += shift
+	}
+	return dst
+}
+
+// Time returns the simulated time in seconds.
+func (st *Stepper) Time() float64 { return st.time }
+
+// Step advances one backward-Euler step. The model's power maps may
+// be mutated between steps (after calling sys.UpdatePower) to drive
+// time-varying workloads.
+func (st *Stepper) Step() error {
+	for i := range st.shifted.Q {
+		st.shifted.Q[i] = st.sys.Q[i] + st.sys.Capacity[i]/st.dt*st.T[i]
+	}
+	t, err := st.shifted.SolveSteady(SolveOptions{Guess: st.T, Tol: 1e-6})
+	if err != nil {
+		return fmt.Errorf("thermal: transient step at t=%.4gs: %w", st.time, err)
+	}
+	copy(st.T, t)
+	st.time += st.dt
+	return nil
+}
+
+// Run advances n steps and returns the peak grid temperature after
+// the last one.
+func (st *Stepper) Run(n int) (float64, error) {
+	for i := 0; i < n; i++ {
+		if err := st.Step(); err != nil {
+			return 0, err
+		}
+	}
+	res := &Result{Model: st.sys.model, T: st.T}
+	return res.Max(), nil
+}
+
+// Result snapshots the current field.
+func (st *Stepper) Result() *Result {
+	t := make([]float64, len(st.T))
+	copy(t, st.T)
+	return &Result{Model: st.sys.model, T: t}
+}

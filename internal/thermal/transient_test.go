@@ -1,0 +1,120 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m := slab(10, 10, 10, 400)
+	steady, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStepper(sys, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slab time constant is C/G ≈ ρc·t / h ≈ 1.75e6·1e-3/400 ≈
+	// 4.4 s; 600 steps of 20 ms cover ~3 time constants... run enough
+	// to converge within a fraction of a degree.
+	if _, err := st.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	res := st.Result()
+	for i := range steady.T {
+		if math.Abs(res.T[i]-steady.T[i]) > 0.05 {
+			t.Fatalf("node %d: transient %.3f vs steady %.3f", i, res.T[i], steady.T[i])
+		}
+	}
+	if st.Time() <= 0 {
+		t.Error("stepper time did not advance")
+	}
+}
+
+func TestTransientMonotonicHeating(t *testing.T) {
+	// From a cold start with constant power, every step heats the
+	// slab (no oscillation — backward Euler is L-stable).
+	m := slab(8, 8, 6, 300)
+	sys, _ := Assemble(m)
+	st, err := NewStepper(sys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 25.0
+	for i := 0; i < 40; i++ {
+		max, err := st.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max < prev-1e-9 {
+			t.Fatalf("step %d: temperature fell from %.4f to %.4f under constant power", i, prev, max)
+		}
+		prev = max
+	}
+}
+
+func TestTransientStepSizeInsensitivity(t *testing.T) {
+	// Final temperature after the same simulated time must agree for
+	// different step sizes (within first-order error).
+	run := func(dt float64, steps int) float64 {
+		m := slab(8, 8, 6, 300)
+		sys, _ := Assemble(m)
+		st, err := NewStepper(sys, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max, err := st.Run(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return max
+	}
+	coarse := run(0.2, 10)
+	fine := run(0.05, 40)
+	if math.Abs(coarse-fine) > 1.0 {
+		t.Errorf("2 s endpoint differs: dt=0.2 gives %.3f, dt=0.05 gives %.3f", coarse, fine)
+	}
+}
+
+func TestTransientPowerStepResponse(t *testing.T) {
+	// Cut power mid-run: the slab must start cooling.
+	m := slab(8, 8, 10, 300)
+	sys, _ := Assemble(m)
+	st, err := NewStepper(sys, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := st.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Layers[0].Power {
+		m.Layers[0].Power[i] = 0
+	}
+	if err := sys.UpdatePower(); err != nil {
+		t.Fatal(err)
+	}
+	cooled, err := st.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cooled >= hot {
+		t.Errorf("slab did not cool after power-off: %.3f -> %.3f", hot, cooled)
+	}
+}
+
+func TestStepperRejectsBadDT(t *testing.T) {
+	m := slab(8, 8, 1, 100)
+	sys, _ := Assemble(m)
+	if _, err := NewStepper(sys, 0); err == nil {
+		t.Error("expected error for zero time step")
+	}
+	if _, err := NewStepper(sys, -1); err == nil {
+		t.Error("expected error for negative time step")
+	}
+}

@@ -1,0 +1,201 @@
+package thermopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// Placement optimisation: instead of only re-orienting whole dies
+// (thermopt.Optimize), relocate the four processor cores on the
+// 16-tile grid itself — the thermal-driven floorplanning the paper
+// cites ([7] Cong et al.) and motivates with the Xeon Phi's uniform
+// map (Figure 18): spreading hot tiles flattens the power density.
+// The optimiser trades peak temperature against a NoC-locality
+// penalty (mean core↔L2 hop distance), since scattering cores also
+// stretches coherence traffic.
+
+// PlacementConfig describes one placement search.
+type PlacementConfig struct {
+	// Chip must use the 16-tile layout (the baseline CMPs).
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	FHz     float64
+	Params  stack.Params
+	// LocalityWeightC converts one tile of mean core-L2 Manhattan
+	// distance into an equivalent °C of objective (0 = thermal only).
+	LocalityWeightC float64
+	// Iterations bounds the annealing moves; zero selects a default.
+	Iterations int
+	Seed       int64
+}
+
+// PlacementResult reports the search outcome.
+type PlacementResult struct {
+	// BaselineTiles is Figure 5's bottom-row placement; BestTiles the
+	// optimiser's.
+	BaselineTiles, BestTiles []int
+	BaselinePeakC, PeakC     float64
+	BaselineDist, BestDist   float64
+	Evaluations              int
+}
+
+// GainC returns the peak-temperature reduction over Figure 5.
+func (r PlacementResult) GainC() float64 { return r.BaselinePeakC - r.PeakC }
+
+// meanCoreL2Distance returns the mean Manhattan distance in tiles
+// between every core tile and every L2 tile on the 4×4 grid — the
+// NoC-locality proxy.
+func meanCoreL2Distance(coreTiles []int) float64 {
+	isCore := map[int]bool{}
+	for _, t := range coreTiles {
+		isCore[t] = true
+	}
+	var sum float64
+	var n int
+	for _, c := range coreTiles {
+		cx, cy := c%4, c/4
+		for t := 0; t < 16; t++ {
+			if isCore[t] {
+				continue
+			}
+			tx, ty := t%4, t/4
+			sum += math.Abs(float64(cx-tx)) + math.Abs(float64(cy-ty))
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// placementEvaluator solves stacks for a core-tile assignment.
+type placementEvaluator struct {
+	cfg   PlacementConfig
+	step  power.Step
+	evals int
+	memo  map[string]float64
+}
+
+func (e *placementEvaluator) peak(coreTiles []int) (float64, error) {
+	key := keyOfTiles(coreTiles)
+	if v, ok := e.memo[key]; ok {
+		return v, nil
+	}
+	fp := floorplan.Baseline16TileWithCores(coreTiles)
+	if err := mcpat.Assign(fp, e.cfg.Chip, e.step, 80); err != nil {
+		return 0, err
+	}
+	dies := make([]*floorplan.Floorplan, e.cfg.Chips)
+	for i := range dies {
+		dies[i] = fp
+	}
+	m, err := stack.Build(stack.Config{Params: e.cfg.Params, Coolant: e.cfg.Coolant, Dies: dies})
+	if err != nil {
+		return 0, err
+	}
+	res, err := thermal.Solve(m, thermal.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	e.evals++
+	v := res.Max()
+	e.memo[key] = v
+	return v, nil
+}
+
+func keyOfTiles(tiles []int) string {
+	s := append([]int(nil), tiles...)
+	sort.Ints(s)
+	b := make([]byte, len(s))
+	for i, t := range s {
+		b[i] = byte('A' + t)
+	}
+	return string(b)
+}
+
+// OptimizePlacement anneals the core-tile assignment.
+func OptimizePlacement(cfg PlacementConfig) (*PlacementResult, error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("thermopt: need at least one chip")
+	}
+	if cfg.Chip.Cores != 4 {
+		return nil, fmt.Errorf("thermopt: placement targets the 4-core 16-tile CMPs, not %s", cfg.Chip.Name)
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 80
+	}
+	step, err := cfg.Chip.StepAt(cfg.FHz)
+	if err != nil {
+		return nil, err
+	}
+	e := &placementEvaluator{cfg: cfg, step: step, memo: map[string]float64{}}
+
+	baseline := []int{0, 1, 2, 3}
+	basePeak, err := e.peak(baseline)
+	if err != nil {
+		return nil, err
+	}
+	res := &PlacementResult{
+		BaselineTiles: baseline,
+		BaselinePeakC: basePeak,
+		BaselineDist:  meanCoreL2Distance(baseline),
+		BestTiles:     append([]int(nil), baseline...),
+		PeakC:         basePeak,
+		BestDist:      meanCoreL2Distance(baseline),
+	}
+	objective := func(peak float64, tiles []int) float64 {
+		return peak + cfg.LocalityWeightC*meanCoreL2Distance(tiles)
+	}
+	bestObj := objective(basePeak, baseline)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur := append([]int(nil), baseline...)
+	curObj := bestObj
+	temp := 3.0
+	cool := math.Pow(0.05/temp, 1/float64(cfg.Iterations))
+	for i := 0; i < cfg.Iterations; i++ {
+		// Swap one core tile with one L2 tile.
+		next := append([]int(nil), cur...)
+		ci := rng.Intn(4)
+		var l2 int
+		for {
+			l2 = rng.Intn(16)
+			taken := false
+			for _, t := range next {
+				if t == l2 {
+					taken = true
+					break
+				}
+			}
+			if !taken {
+				break
+			}
+		}
+		next[ci] = l2
+		peak, err := e.peak(next)
+		if err != nil {
+			return nil, err
+		}
+		obj := objective(peak, next)
+		if obj < curObj || rng.Float64() < math.Exp((curObj-obj)/temp) {
+			cur, curObj = next, obj
+			if obj < bestObj {
+				bestObj = obj
+				res.BestTiles = append([]int(nil), next...)
+				res.PeakC = peak
+				res.BestDist = meanCoreL2Distance(next)
+			}
+		}
+		temp *= cool
+	}
+	res.Evaluations = e.evals
+	return res, nil
+}

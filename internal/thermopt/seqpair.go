@@ -1,0 +1,271 @@
+package thermopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waterimm/internal/floorplan"
+)
+
+// Sequence-pair floorplanning — the general thermal-driven
+// floorplanning algorithm family the paper cites ([7] Cong et al.)
+// behind the fixed layouts of internal/floorplan. A placement of
+// rectangular modules is encoded as two permutations (Γ⁺, Γ⁻): module
+// a is left of b when it precedes b in both sequences, and below b
+// when it follows in Γ⁺ but precedes in Γ⁻. Packing is a longest-path
+// computation; simulated annealing searches the permutation space for
+// minimum bounding-box area plus weighted half-perimeter wirelength
+// and, optionally, a power-proximity penalty that pushes hot modules
+// apart (the cheap surrogate for a full thermal solve inside the SA
+// loop).
+
+// Module is one rectangle to place.
+type Module struct {
+	Name string
+	// W, H in metres.
+	W, H float64
+	// PowerW drives the thermal-spread penalty.
+	PowerW float64
+}
+
+// Net connects module indices; its cost is the half-perimeter of the
+// bounding box of the connected modules' centres.
+type Net []int
+
+// SeqPairConfig tunes the annealer.
+type SeqPairConfig struct {
+	Modules []Module
+	Nets    []Net
+	// WirelengthWeight converts metres of HPWL into m² of objective;
+	// ThermalWeight converts the power-proximity penalty (W²/m) into
+	// m² of objective. Zero disables the respective term.
+	WirelengthWeight float64
+	ThermalWeight    float64
+	// AllowRotate lets the annealer swap a module's width and height.
+	AllowRotate bool
+	Iterations  int
+	Seed        int64
+}
+
+// SeqPairResult is the packed floorplan plus its metrics.
+type SeqPairResult struct {
+	Plan *floorplan.Floorplan
+	// AreaM2 is the bounding-box area; DeadFraction the whitespace
+	// share.
+	AreaM2       float64
+	DeadFraction float64
+	// HPWLM is the total half-perimeter wirelength.
+	HPWLM float64
+	// InitialAreaM2 is the first (identity-permutation) packing's
+	// area, for improvement reporting.
+	InitialAreaM2 float64
+	Evaluations   int
+}
+
+// seqPair is one point in the search space.
+type seqPair struct {
+	gPlus, gMinus []int
+	rotated       []bool
+}
+
+func (s seqPair) clone() seqPair {
+	return seqPair{
+		gPlus:   append([]int(nil), s.gPlus...),
+		gMinus:  append([]int(nil), s.gMinus...),
+		rotated: append([]bool(nil), s.rotated...),
+	}
+}
+
+// pack computes module positions for the pair and returns the
+// bounding box. posPlus[i] is module i's index in Γ⁺.
+func pack(cfg *SeqPairConfig, sp seqPair) (xs, ys []float64, w, h float64) {
+	n := len(cfg.Modules)
+	posPlus := make([]int, n)
+	for idx, m := range sp.gPlus {
+		posPlus[m] = idx
+	}
+	dims := func(i int) (float64, float64) {
+		m := cfg.Modules[i]
+		if sp.rotated[i] {
+			return m.H, m.W
+		}
+		return m.W, m.H
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	// Process in Γ⁻ order: every left-of and below-of predecessor of a
+	// module precedes it in Γ⁻, so a single pass suffices.
+	for oi, i := range sp.gMinus {
+		wi, hi := dims(i)
+		for _, j := range sp.gMinus[:oi] {
+			wj, hj := dims(j)
+			if posPlus[j] < posPlus[i] {
+				// j left of i.
+				if x := xs[j] + wj; x > xs[i] {
+					xs[i] = x
+				}
+			} else {
+				// j below i.
+				if y := ys[j] + hj; y > ys[i] {
+					ys[i] = y
+				}
+			}
+		}
+		if x := xs[i] + wi; x > w {
+			w = x
+		}
+		if y := ys[i] + hi; y > h {
+			h = y
+		}
+	}
+	return xs, ys, w, h
+}
+
+// hpwl sums the nets' half-perimeter wirelengths for a placement.
+func hpwl(cfg *SeqPairConfig, sp seqPair, xs, ys []float64) float64 {
+	var total float64
+	for _, net := range cfg.Nets {
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, i := range net {
+			w, h := cfg.Modules[i].W, cfg.Modules[i].H
+			if sp.rotated[i] {
+				w, h = h, w
+			}
+			cx, cy := xs[i]+w/2, ys[i]+h/2
+			minX, maxX = math.Min(minX, cx), math.Max(maxX, cx)
+			minY, maxY = math.Min(minY, cy), math.Max(maxY, cy)
+		}
+		if len(net) > 0 {
+			total += (maxX - minX) + (maxY - minY)
+		}
+	}
+	return total
+}
+
+// thermalProximity penalises hot modules sitting close together:
+// Σ Pi·Pj / (dij + ε) over module pairs — the surrogate for the full
+// solver inside the annealing loop.
+func thermalProximity(cfg *SeqPairConfig, sp seqPair, xs, ys []float64) float64 {
+	const eps = 1e-4
+	var total float64
+	n := len(cfg.Modules)
+	for i := 0; i < n; i++ {
+		if cfg.Modules[i].PowerW == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if cfg.Modules[j].PowerW == 0 {
+				continue
+			}
+			dx := (xs[i] - xs[j])
+			dy := (ys[i] - ys[j])
+			d := math.Hypot(dx, dy)
+			total += cfg.Modules[i].PowerW * cfg.Modules[j].PowerW / (d + eps)
+		}
+	}
+	return total
+}
+
+// Floorplan anneals the sequence pair and returns the packed result.
+func Floorplan(cfg SeqPairConfig) (*SeqPairResult, error) {
+	n := len(cfg.Modules)
+	if n == 0 {
+		return nil, fmt.Errorf("thermopt: no modules to place")
+	}
+	for i, m := range cfg.Modules {
+		if m.W <= 0 || m.H <= 0 {
+			return nil, fmt.Errorf("thermopt: module %d (%s) has non-positive size", i, m.Name)
+		}
+	}
+	for _, net := range cfg.Nets {
+		for _, i := range net {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("thermopt: net references module %d of %d", i, n)
+			}
+		}
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 2000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := seqPair{gPlus: make([]int, n), gMinus: make([]int, n), rotated: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		cur.gPlus[i] = i
+		cur.gMinus[i] = i
+	}
+	objective := func(sp seqPair) (float64, float64, float64) {
+		xs, ys, w, h := pack(&cfg, sp)
+		area := w * h
+		wl := hpwl(&cfg, sp, xs, ys)
+		obj := area + cfg.WirelengthWeight*wl
+		if cfg.ThermalWeight > 0 {
+			obj += cfg.ThermalWeight * thermalProximity(&cfg, sp, xs, ys)
+		}
+		return obj, area, wl
+	}
+	curObj, initArea, _ := objective(cur)
+	best := cur.clone()
+	bestObj := curObj
+	evals := 1
+
+	temp := curObj * 0.1
+	cool := math.Pow(1e-3, 1/float64(cfg.Iterations))
+	for it := 0; it < cfg.Iterations; it++ {
+		next := cur.clone()
+		switch move := rng.Intn(3); {
+		case move == 0 && n > 1:
+			a, b := rng.Intn(n), rng.Intn(n)
+			next.gPlus[a], next.gPlus[b] = next.gPlus[b], next.gPlus[a]
+		case move == 1 && n > 1:
+			a, b := rng.Intn(n), rng.Intn(n)
+			next.gPlus[a], next.gPlus[b] = next.gPlus[b], next.gPlus[a]
+			a, b = rng.Intn(n), rng.Intn(n)
+			next.gMinus[a], next.gMinus[b] = next.gMinus[b], next.gMinus[a]
+		default:
+			if !cfg.AllowRotate {
+				continue
+			}
+			m := rng.Intn(n)
+			next.rotated[m] = !next.rotated[m]
+		}
+		obj, _, _ := objective(next)
+		evals++
+		if obj < curObj || rng.Float64() < math.Exp((curObj-obj)/temp) {
+			cur, curObj = next, obj
+			if obj < bestObj {
+				best, bestObj = cur.clone(), obj
+			}
+		}
+		temp *= cool
+	}
+
+	xs, ys, w, h := pack(&cfg, best)
+	plan := &floorplan.Floorplan{Name: "seqpair", W: w, H: h}
+	var moduleArea float64
+	for i, m := range cfg.Modules {
+		mw, mh := m.W, m.H
+		if best.rotated[i] {
+			mw, mh = mh, mw
+		}
+		plan.Units = append(plan.Units, floorplan.Unit{
+			Name: m.Name, Kind: "module",
+			X: xs[i], Y: ys[i], W: mw, H: mh, PowerW: m.PowerW,
+		})
+		moduleArea += mw * mh
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("thermopt: packing produced an illegal plan: %w", err)
+	}
+	res := &SeqPairResult{
+		Plan:          plan,
+		AreaM2:        w * h,
+		DeadFraction:  1 - moduleArea/(w*h),
+		HPWLM:         hpwl(&cfg, best, xs, ys),
+		InitialAreaM2: initArea,
+		Evaluations:   evals,
+	}
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package thermopt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func demoModules() []Module {
+	return []Module{
+		{Name: "core0", W: 4e-3, H: 3e-3, PowerW: 8},
+		{Name: "core1", W: 4e-3, H: 3e-3, PowerW: 8},
+		{Name: "l2a", W: 5e-3, H: 4e-3, PowerW: 1},
+		{Name: "l2b", W: 5e-3, H: 4e-3, PowerW: 1},
+		{Name: "mc", W: 6e-3, H: 1.5e-3, PowerW: 2},
+		{Name: "io", W: 2e-3, H: 2e-3, PowerW: 0.5},
+	}
+}
+
+func TestSeqPairLegalPacking(t *testing.T) {
+	res, err := Floorplan(SeqPairConfig{Modules: demoModules(), Seed: 1, Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate() inside Floorplan already guarantees no overlap and
+	// in-bounds placement; check the metrics make sense.
+	if len(res.Plan.Units) != len(demoModules()) {
+		t.Fatalf("placed %d of %d modules", len(res.Plan.Units), len(demoModules()))
+	}
+	if res.DeadFraction < 0 || res.DeadFraction > 0.6 {
+		t.Errorf("dead space %.2f implausible", res.DeadFraction)
+	}
+	if res.AreaM2 > res.InitialAreaM2 {
+		t.Errorf("annealing ended worse than the identity packing: %.2e > %.2e",
+			res.AreaM2, res.InitialAreaM2)
+	}
+}
+
+func TestSeqPairRotationHelps(t *testing.T) {
+	// Mixed-aspect modules pack tighter when rotation is allowed.
+	modules := []Module{
+		{Name: "a", W: 8e-3, H: 1e-3},
+		{Name: "b", W: 8e-3, H: 1e-3},
+		{Name: "c", W: 1e-3, H: 8e-3},
+		{Name: "d", W: 1e-3, H: 8e-3},
+	}
+	fixed, err := Floorplan(SeqPairConfig{Modules: modules, Seed: 1, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := Floorplan(SeqPairConfig{Modules: modules, Seed: 1, Iterations: 1500, AllowRotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("area: fixed %.1f mm2, rotatable %.1f mm2", fixed.AreaM2*1e6, rot.AreaM2*1e6)
+	if rot.AreaM2 > fixed.AreaM2 {
+		t.Errorf("rotation made packing worse: %.2e vs %.2e", rot.AreaM2, fixed.AreaM2)
+	}
+}
+
+func TestSeqPairWirelengthPullsNetsTogether(t *testing.T) {
+	modules := demoModules()
+	nets := []Net{{0, 2}, {1, 3}, {4, 5}}
+	loose, err := Floorplan(SeqPairConfig{Modules: modules, Nets: nets, Seed: 3, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Floorplan(SeqPairConfig{
+		Modules: modules, Nets: nets, Seed: 3, Iterations: 1500,
+		WirelengthWeight: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("HPWL: area-only %.1f mm, weighted %.1f mm", loose.HPWLM*1e3, tight.HPWLM*1e3)
+	if tight.HPWLM > loose.HPWLM {
+		t.Errorf("wirelength weight must not lengthen nets: %.2e vs %.2e", tight.HPWLM, loose.HPWLM)
+	}
+}
+
+func TestSeqPairThermalSpreadsHotModules(t *testing.T) {
+	modules := demoModules()
+	base, err := Floorplan(SeqPairConfig{Modules: modules, Seed: 5, Iterations: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Floorplan(SeqPairConfig{
+		Modules: modules, Seed: 5, Iterations: 1500,
+		ThermalWeight: 1e-10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(r *SeqPairResult) float64 {
+		u0 := r.Plan.UnitByName("core0")
+		u1 := r.Plan.UnitByName("core1")
+		dx := (u0.X + u0.W/2) - (u1.X + u1.W/2)
+		dy := (u0.Y + u0.H/2) - (u1.Y + u1.H/2)
+		return dx*dx + dy*dy
+	}
+	t.Logf("core separation²: area-only %.2e, thermal-weighted %.2e", dist(base), dist(spread))
+	if dist(spread) < dist(base) {
+		t.Errorf("thermal weight must push the two hot cores apart")
+	}
+}
+
+func TestSeqPairDeterministic(t *testing.T) {
+	cfg := SeqPairConfig{Modules: demoModules(), Seed: 9, Iterations: 400}
+	a, err := Floorplan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Floorplan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AreaM2 != b.AreaM2 || a.HPWLM != b.HPWLM {
+		t.Error("same seed must reproduce the same plan")
+	}
+}
+
+func TestSeqPairValidation(t *testing.T) {
+	if _, err := Floorplan(SeqPairConfig{}); err == nil {
+		t.Error("empty module list must error")
+	}
+	if _, err := Floorplan(SeqPairConfig{Modules: []Module{{Name: "x", W: 0, H: 1}}}); err == nil {
+		t.Error("degenerate module must error")
+	}
+	if _, err := Floorplan(SeqPairConfig{
+		Modules: demoModules(), Nets: []Net{{99}},
+	}); err == nil {
+		t.Error("out-of-range net must error")
+	}
+}
+
+func TestSeqPairRandomLegality(t *testing.T) {
+	// Property: any random module set packs into a legal plan.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		var mods []Module
+		for i := 0; i < n; i++ {
+			mods = append(mods, Module{
+				Name: string(rune('a' + i)),
+				W:    (0.5 + rng.Float64()*4) * 1e-3,
+				H:    (0.5 + rng.Float64()*4) * 1e-3,
+			})
+		}
+		res, err := Floorplan(SeqPairConfig{Modules: mods, Seed: seed, Iterations: 200, AllowRotate: true})
+		return err == nil && len(res.Plan.Units) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

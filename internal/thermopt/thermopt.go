@@ -1,0 +1,241 @@
+// Package thermopt is the thermal-aware 3-D layout optimizer the
+// paper sketches in Section 4.2 and defers to future work: given a
+// stack of identical dies, choose a per-layer orientation (identity,
+// 180° rotation, or X mirror — 90° rotations are excluded because
+// rectangular dies would no longer stack) that minimises the peak
+// steady-state temperature. Small stacks are solved exhaustively;
+// larger ones by simulated annealing over the orientation vector.
+// The paper's manual "flip even layers" heuristic is the n=2 periodic
+// point of this search.
+package thermopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// Orientation of one layer.
+type Orientation int
+
+// The stackable orientations.
+const (
+	Identity Orientation = iota
+	Rot180
+	MirrorX
+	numOrientations
+)
+
+func (o Orientation) String() string {
+	switch o {
+	case Identity:
+		return "id"
+	case Rot180:
+		return "rot180"
+	case MirrorX:
+		return "mirrorx"
+	}
+	return fmt.Sprintf("Orientation(%d)", int(o))
+}
+
+// Assignment is a per-layer orientation vector, bottom first.
+type Assignment []Orientation
+
+// FlipEvenLayers returns the paper's Section 4.2 heuristic for n
+// layers: rotate every odd-indexed (even-numbered counting from 1)
+// layer by 180°.
+func FlipEvenLayers(n int) Assignment {
+	a := make(Assignment, n)
+	for i := 1; i < n; i += 2 {
+		a[i] = Rot180
+	}
+	return a
+}
+
+// Config describes one optimisation problem.
+type Config struct {
+	Chip    power.Model
+	Chips   int
+	Coolant material.Coolant
+	FHz     float64
+	Params  stack.Params
+	// Iterations bounds the annealing moves (ignored by the
+	// exhaustive path). Zero selects a default.
+	Iterations int
+	Seed       int64
+	// ExhaustiveLimit is the largest stack solved by enumeration
+	// (3^n evaluations); zero selects 5.
+	ExhaustiveLimit int
+}
+
+// Result is the optimiser's outcome.
+type Result struct {
+	Best  Assignment
+	PeakC float64
+	// BaselinePeakC is the all-identity stack's peak, for reporting
+	// the gain.
+	BaselinePeakC float64
+	// Evaluations counts thermal solves performed.
+	Evaluations int
+}
+
+// GainC returns the peak-temperature reduction over the aligned
+// stack.
+func (r Result) GainC() float64 { return r.BaselinePeakC - r.PeakC }
+
+// evaluator caches the three oriented floorplans and solves stacks.
+type evaluator struct {
+	cfg   Config
+	plans [numOrientations]*floorplan.Floorplan
+	evals int
+	memo  map[string]float64
+}
+
+func newEvaluator(cfg Config) (*evaluator, error) {
+	step, err := cfg.Chip.StepAt(cfg.FHz)
+	if err != nil {
+		return nil, err
+	}
+	base, err := mcpat.ChipAt(cfg.Chip, step, 80)
+	if err != nil {
+		return nil, err
+	}
+	e := &evaluator{cfg: cfg, memo: make(map[string]float64)}
+	e.plans[Identity] = base
+	e.plans[Rot180] = base.Rotate180()
+	e.plans[MirrorX] = base.MirrorX()
+	return e, nil
+}
+
+func (e *evaluator) peak(a Assignment) (float64, error) {
+	key := keyOf(a)
+	if v, ok := e.memo[key]; ok {
+		return v, nil
+	}
+	dies := make([]*floorplan.Floorplan, len(a))
+	for i, o := range a {
+		dies[i] = e.plans[o]
+	}
+	m, err := stack.Build(stack.Config{Params: e.cfg.Params, Coolant: e.cfg.Coolant, Dies: dies})
+	if err != nil {
+		return 0, err
+	}
+	res, err := thermal.Solve(m, thermal.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	e.evals++
+	v := res.Max()
+	e.memo[key] = v
+	return v, nil
+}
+
+func keyOf(a Assignment) string {
+	b := make([]byte, len(a))
+	for i, o := range a {
+		b[i] = byte('0' + o)
+	}
+	return string(b)
+}
+
+// Optimize searches the orientation space.
+func Optimize(cfg Config) (*Result, error) {
+	if cfg.Chips < 1 {
+		return nil, fmt.Errorf("thermopt: need at least one chip")
+	}
+	if cfg.ExhaustiveLimit == 0 {
+		cfg.ExhaustiveLimit = 5
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 60
+	}
+	e, err := newEvaluator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline := make(Assignment, cfg.Chips)
+	basePeak, err := e.peak(baseline)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: baseline, PeakC: basePeak, BaselinePeakC: basePeak}
+
+	consider := func(a Assignment) error {
+		p, err := e.peak(a)
+		if err != nil {
+			return err
+		}
+		if p < res.PeakC {
+			res.PeakC = p
+			res.Best = append(Assignment(nil), a...)
+		}
+		return nil
+	}
+
+	if cfg.Chips <= cfg.ExhaustiveLimit {
+		// Enumerate all 3^n orientation vectors. The bottom layer can
+		// stay fixed: a global rotation of the whole stack leaves the
+		// peak unchanged, which prunes the space threefold.
+		a := make(Assignment, cfg.Chips)
+		var walk func(i int) error
+		walk = func(i int) error {
+			if i == cfg.Chips {
+				return consider(a)
+			}
+			for o := Orientation(0); o < numOrientations; o++ {
+				if i == 0 && o != Identity {
+					continue
+				}
+				a[i] = o
+				if err := walk(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0); err != nil {
+			return nil, err
+		}
+		res.Evaluations = e.evals
+		return res, nil
+	}
+
+	// Simulated annealing for deeper stacks, seeded from the paper's
+	// flip heuristic.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cur := FlipEvenLayers(cfg.Chips)
+	curPeak, err := e.peak(cur)
+	if err != nil {
+		return nil, err
+	}
+	if err := consider(cur); err != nil {
+		return nil, err
+	}
+	temp := 4.0 // degrees of uphill tolerance at the start
+	cool := math.Pow(0.05/temp, 1/float64(cfg.Iterations))
+	for i := 0; i < cfg.Iterations; i++ {
+		next := append(Assignment(nil), cur...)
+		layer := 1 + rng.Intn(cfg.Chips-1) // keep the bottom layer fixed
+		next[layer] = Orientation(rng.Intn(int(numOrientations)))
+		p, err := e.peak(next)
+		if err != nil {
+			return nil, err
+		}
+		if p < curPeak || rng.Float64() < math.Exp((curPeak-p)/temp) {
+			cur, curPeak = next, p
+			if err := consider(cur); err != nil {
+				return nil, err
+			}
+		}
+		temp *= cool
+	}
+	res.Evaluations = e.evals
+	return res, nil
+}

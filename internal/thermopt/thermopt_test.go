@@ -1,0 +1,204 @@
+package thermopt
+
+import (
+	"testing"
+
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+)
+
+func smallConfig(chips int) Config {
+	p := stack.DefaultParams()
+	p.GridNX, p.GridNY = 16, 16 // coarse grid keeps the search fast
+	return Config{
+		Chip:    power.HighFrequency,
+		Chips:   chips,
+		Coolant: material.Water,
+		FHz:     3.6e9,
+		Params:  p,
+		Seed:    1,
+	}
+}
+
+func TestFlipEvenLayers(t *testing.T) {
+	a := FlipEvenLayers(4)
+	want := Assignment{Identity, Rot180, Identity, Rot180}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("FlipEvenLayers(4) = %v", a)
+		}
+	}
+}
+
+func TestExhaustiveBeatsAligned(t *testing.T) {
+	res, err := Optimize(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("aligned %.1f C -> best %.1f C (%v, %d evals)",
+		res.BaselinePeakC, res.PeakC, res.Best, res.Evaluations)
+	if res.GainC() <= 0 {
+		t.Errorf("the optimizer must beat the aligned stack (gain %.2f C)", res.GainC())
+	}
+	// The exhaustive search covers 3^(n-1) assignments (bottom layer
+	// pinned by symmetry) and must therefore do at least that many
+	// distinct evaluations.
+	if res.Evaluations < 27 {
+		t.Errorf("exhaustive search did only %d evaluations", res.Evaluations)
+	}
+	if len(res.Best) != 4 || res.Best[0] != Identity {
+		t.Errorf("bottom layer must stay pinned: %v", res.Best)
+	}
+}
+
+func TestOptimizerAtLeastMatchesFlipHeuristic(t *testing.T) {
+	cfg := smallConfig(4)
+	res, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipPeak, err := e.peak(FlipEvenLayers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakC > flipPeak+1e-9 {
+		t.Errorf("optimizer (%.2f C) lost to the paper's flip heuristic (%.2f C)", res.PeakC, flipPeak)
+	}
+}
+
+func TestAnnealingPath(t *testing.T) {
+	cfg := smallConfig(7) // above the exhaustive limit
+	cfg.Iterations = 25
+	res, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GainC() < 0 {
+		t.Errorf("annealing must never end worse than aligned: gain %.2f C", res.GainC())
+	}
+	if len(res.Best) != 7 {
+		t.Errorf("assignment length %d", len(res.Best))
+	}
+}
+
+func TestMemoisationCutsEvaluations(t *testing.T) {
+	cfg := smallConfig(3)
+	res, err := Optimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 layers, bottom pinned: 9 assignments + the baseline (part of
+	// the 9). Memoisation must keep evals at exactly the distinct
+	// count.
+	if res.Evaluations != 9 {
+		t.Errorf("expected 9 distinct evaluations, got %d", res.Evaluations)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	cfg := smallConfig(0)
+	if _, err := Optimize(cfg); err == nil {
+		t.Error("expected error for zero chips")
+	}
+	cfg = smallConfig(2)
+	cfg.FHz = 9e9
+	if _, err := Optimize(cfg); err == nil {
+		t.Error("expected error for out-of-range frequency")
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if Identity.String() != "id" || Rot180.String() != "rot180" || MirrorX.String() != "mirrorx" {
+		t.Error("orientation names wrong")
+	}
+	if Orientation(9).String() == "" {
+		t.Error("unknown orientation must still print")
+	}
+}
+
+func placementConfig() PlacementConfig {
+	p := stack.DefaultParams()
+	p.GridNX, p.GridNY = 16, 16
+	return PlacementConfig{
+		Chip:    power.HighFrequency,
+		Chips:   4,
+		Coolant: material.Water,
+		FHz:     3.6e9,
+		Params:  p,
+		Seed:    1,
+	}
+}
+
+func TestPlacementSpreadBeatsBottomRow(t *testing.T) {
+	res, err := OptimizePlacement(placementConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bottom row %.1f C -> %v %.1f C (gain %.1f C, %d evals)",
+		res.BaselinePeakC, res.BestTiles, res.PeakC, res.GainC(), res.Evaluations)
+	if res.GainC() <= 1 {
+		t.Errorf("spreading cores must clearly beat the clustered bottom row, gain %.1f C", res.GainC())
+	}
+	// The found placement must spread cores out of a single row.
+	rows := map[int]bool{}
+	for _, tile := range res.BestTiles {
+		rows[tile/4] = true
+	}
+	if len(rows) < 2 {
+		t.Errorf("optimized cores still clustered in one row: %v", res.BestTiles)
+	}
+}
+
+func TestPlacementLocalityTradeoff(t *testing.T) {
+	// A heavy locality weight must pull the solution back toward
+	// compact placements (shorter core-L2 distance) at some thermal
+	// cost.
+	free := placementConfig()
+	free.Iterations = 40
+	tight := free
+	tight.LocalityWeightC = 50
+	a, err := OptimizePlacement(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OptimizePlacement(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("free: dist %.2f peak %.1f; locality-weighted: dist %.2f peak %.1f",
+		a.BestDist, a.PeakC, b.BestDist, b.PeakC)
+	if b.BestDist > a.BestDist+1e-9 {
+		t.Errorf("locality weight should not lengthen core-L2 distance: %.2f vs %.2f", b.BestDist, a.BestDist)
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	cfg := placementConfig()
+	cfg.Chips = 0
+	if _, err := OptimizePlacement(cfg); err == nil {
+		t.Error("expected error for zero chips")
+	}
+	cfg = placementConfig()
+	cfg.Chip = power.XeonPhi
+	if _, err := OptimizePlacement(cfg); err == nil {
+		t.Error("expected error for non-16-tile chip")
+	}
+}
+
+func TestMeanCoreL2Distance(t *testing.T) {
+	// The central cluster minimises mean core-L2 distance; the
+	// corners maximise it among spread placements; the bottom row
+	// (Figure 5) is worse than both because it is eccentric.
+	centre := meanCoreL2Distance([]int{5, 6, 9, 10})
+	corners := meanCoreL2Distance([]int{0, 3, 12, 15})
+	bottom := meanCoreL2Distance([]int{0, 1, 2, 3})
+	if !(centre < corners && corners < bottom) {
+		t.Errorf("distance ordering centre (%.2f) < corners (%.2f) < bottom row (%.2f) violated",
+			centre, corners, bottom)
+	}
+}

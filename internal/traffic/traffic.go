@@ -1,0 +1,246 @@
+// Package traffic is the synthetic-traffic harness for the mesh NoC:
+// the standard interconnect evaluation methodology (uniform random,
+// transpose, bit-complement, hotspot and nearest-neighbour patterns
+// injected at a controlled rate) used to validate the Table 1 network
+// before trusting it under the NPB coherence traffic. Sweep produces
+// the classic latency-vs-offered-load curve, whose zero-load
+// intercept and saturation knee are the network's two signatures.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"waterimm/internal/noc"
+	"waterimm/internal/sim"
+)
+
+// Pattern enumerates destination distributions.
+type Pattern int
+
+// The classic synthetic patterns.
+const (
+	// UniformRandom sends every packet to a uniformly random node.
+	UniformRandom Pattern = iota
+	// Transpose sends (x,y,z) → (y,x,z): adversarial for XY routing.
+	Transpose
+	// BitComplement sends node i to its coordinate complement.
+	BitComplement
+	// Hotspot sends a fraction of traffic to one node (0,0,0), the
+	// rest uniformly.
+	Hotspot
+	// NearestNeighbour sends to the +x neighbour (wrapping): the
+	// friendliest possible load.
+	NearestNeighbour
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "uniform"
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "complement"
+	case Hotspot:
+		return "hotspot"
+	case NearestNeighbour:
+		return "neighbour"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Patterns lists all patterns.
+func Patterns() []Pattern {
+	return []Pattern{UniformRandom, Transpose, BitComplement, Hotspot, NearestNeighbour}
+}
+
+// Config describes one injection experiment.
+type Config struct {
+	// Mesh is the network configuration.
+	Mesh noc.Config
+	// Pattern selects the destination distribution.
+	Pattern Pattern
+	// InjectionRate is the offered load in packets per node per
+	// cycle (exponential inter-arrival).
+	InjectionRate float64
+	// Flits is the packet size (default: the mesh's data size).
+	Flits int
+	// HotspotFraction is the share of traffic aimed at node 0 for
+	// the Hotspot pattern (default 0.2).
+	HotspotFraction float64
+	// WarmupCycles are excluded from measurement; MeasureCycles are
+	// counted.
+	WarmupCycles, MeasureCycles int
+	Seed                        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Flits <= 0 {
+		c.Flits = c.Mesh.DataFlits
+	}
+	if c.HotspotFraction <= 0 {
+		c.HotspotFraction = 0.2
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = 10000
+	}
+	return c
+}
+
+// Result summarises one experiment.
+type Result struct {
+	Pattern Pattern
+	// OfferedLoad is packets/node/cycle requested; AcceptedLoad the
+	// delivered rate over the measurement window.
+	OfferedLoad, AcceptedLoad float64
+	// AvgLatencyCycles and MaxLatencyCycles are measured end-to-end
+	// (injection to tail ejection).
+	AvgLatencyCycles, MaxLatencyCycles float64
+	// Delivered counts measured packets.
+	Delivered uint64
+	// Saturated marks accepted load falling clearly below offered.
+	Saturated bool
+}
+
+// Run injects the pattern for warmup+measure cycles and reports the
+// measurement window's statistics.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mesh.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.InjectionRate <= 0 {
+		return Result{}, fmt.Errorf("traffic: non-positive injection rate")
+	}
+	k := sim.NewKernel()
+	mesh, err := noc.New(k, cfg.Mesh)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cycle := sim.Cycle(cfg.Mesh.FHz)
+	warmupEnd := sim.Time(cfg.WarmupCycles) * cycle
+	measureEnd := warmupEnd + sim.Time(cfg.MeasureCycles)*cycle
+
+	var delivered uint64
+	var latSum, latMax float64
+	mesh.Deliver = func(p *noc.Packet) {
+		if p.Injected < warmupEnd || k.Now() > measureEnd {
+			return
+		}
+		lat := float64(k.Now()-p.Injected) / float64(cycle)
+		delivered++
+		latSum += lat
+		if lat > latMax {
+			latMax = lat
+		}
+	}
+
+	nodes := cfg.Mesh.Nodes()
+	dest := destinationFn(cfg, mesh, rng)
+	// Per-node exponential injection processes.
+	var inject func(node int)
+	inject = func(node int) {
+		gap := sim.Time(rng.ExpFloat64() / cfg.InjectionRate * float64(cycle))
+		if gap == 0 {
+			gap = 1
+		}
+		k.After(gap, func() {
+			if k.Now() > measureEnd {
+				return
+			}
+			d := dest(node)
+			if d != node {
+				mesh.Send(&noc.Packet{Src: node, Dst: d, VNet: int(uint(node) % 3), Flits: cfg.Flits})
+			}
+			inject(node)
+		})
+	}
+	for n := 0; n < nodes; n++ {
+		inject(n)
+	}
+	k.RunFor(measureEnd + 500*cycle) // drain tail
+
+	res := Result{
+		Pattern:      cfg.Pattern,
+		OfferedLoad:  cfg.InjectionRate,
+		AcceptedLoad: float64(delivered) / float64(nodes) / float64(cfg.MeasureCycles),
+		Delivered:    delivered,
+	}
+	if delivered > 0 {
+		res.AvgLatencyCycles = latSum / float64(delivered)
+		res.MaxLatencyCycles = latMax
+	}
+	res.Saturated = res.AcceptedLoad < 0.85*res.OfferedLoad
+	return res, nil
+}
+
+// destinationFn builds the per-pattern destination chooser.
+func destinationFn(cfg Config, mesh *noc.Mesh, rng *rand.Rand) func(int) int {
+	nodes := cfg.Mesh.Nodes()
+	switch cfg.Pattern {
+	case Transpose:
+		return func(src int) int {
+			x, y, z := mesh.Coords(src)
+			if x >= cfg.Mesh.NY || y >= cfg.Mesh.NX {
+				return (src + 1) % nodes
+			}
+			return mesh.NodeID(y, x, z)
+		}
+	case BitComplement:
+		return func(src int) int {
+			x, y, z := mesh.Coords(src)
+			return mesh.NodeID(cfg.Mesh.NX-1-x, cfg.Mesh.NY-1-y, cfg.Mesh.NZ-1-z)
+		}
+	case Hotspot:
+		return func(src int) int {
+			if rng.Float64() < cfg.HotspotFraction {
+				return 0
+			}
+			return rng.Intn(nodes)
+		}
+	case NearestNeighbour:
+		return func(src int) int {
+			x, y, z := mesh.Coords(src)
+			return mesh.NodeID((x+1)%cfg.Mesh.NX, y, z)
+		}
+	default:
+		return func(src int) int { return rng.Intn(nodes) }
+	}
+}
+
+// Sweep runs the load points in order and returns the latency curve.
+// Points after double the first saturated rate are skipped (the curve
+// past deep saturation is wall-clock expensive and uninformative).
+func Sweep(cfg Config, rates []float64) ([]Result, error) {
+	var out []Result
+	var satAt float64 = math.Inf(1)
+	for _, r := range rates {
+		if r > 2*satAt {
+			break
+		}
+		c := cfg
+		c.InjectionRate = r
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+		if res.Saturated && r < satAt {
+			satAt = r
+		}
+	}
+	return out, nil
+}
+
+// ZeroLoadLatencyCycles returns the analytic zero-load latency for a
+// packet of the given size crossing hops mesh links: per-hop pipeline
+// plus link traversal, plus one serialisation at ejection.
+func ZeroLoadLatencyCycles(cfg noc.Config, hops, flits int) float64 {
+	return float64(hops*(cfg.PipelineCycles+cfg.LinkCycles)) + float64(flits)
+}

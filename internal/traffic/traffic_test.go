@@ -1,0 +1,188 @@
+package traffic
+
+import (
+	"testing"
+
+	"waterimm/internal/noc"
+	"waterimm/internal/sim"
+)
+
+func simNewKernelForTest() *sim.Kernel { return sim.NewKernel() }
+
+func cfg(p Pattern, rate float64) Config {
+	return Config{
+		Mesh:          noc.DefaultConfig(2, 2.0e9),
+		Pattern:       p,
+		InjectionRate: rate,
+		WarmupCycles:  500,
+		MeasureCycles: 3000,
+		Seed:          1,
+	}
+}
+
+func TestZeroLoadLatencyNearAnalytic(t *testing.T) {
+	// At a very low rate, measured latency must sit near the analytic
+	// zero-load value for the pattern's mean hop count.
+	res, err := Run(cfg(NearestNeighbour, 0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no packets measured")
+	}
+	want := ZeroLoadLatencyCycles(noc.DefaultConfig(2, 2.0e9), 1, 5)
+	if res.AvgLatencyCycles < want-0.5 || res.AvgLatencyCycles > want+3 {
+		t.Errorf("zero-load latency %.1f cycles, analytic %.1f", res.AvgLatencyCycles, want)
+	}
+	if res.Saturated {
+		t.Error("trickle load cannot saturate the mesh")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	low, err := Run(cfg(UniformRandom, 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(cfg(UniformRandom, 0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uniform: %.1f cycles @0.005, %.1f cycles @0.08", low.AvgLatencyCycles, high.AvgLatencyCycles)
+	if high.AvgLatencyCycles <= low.AvgLatencyCycles {
+		t.Errorf("latency must grow with load: %.1f vs %.1f", high.AvgLatencyCycles, low.AvgLatencyCycles)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	// A 4x4x2 mesh with 5-flit packets saturates well below 1
+	// packet/node/cycle; 0.5 is far past the knee.
+	res, err := Run(cfg(UniformRandom, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Errorf("0.5 pkt/node/cycle must saturate (accepted %.3f)", res.AcceptedLoad)
+	}
+	if res.AcceptedLoad >= res.OfferedLoad {
+		t.Error("accepted load cannot exceed offered at saturation")
+	}
+}
+
+func TestNeighbourOutperformsTranspose(t *testing.T) {
+	// Nearest-neighbour is the friendliest pattern; transpose
+	// concentrates load on the mesh bisection. At a moderate rate the
+	// neighbour pattern must deliver lower latency.
+	nn, err := Run(cfg(NearestNeighbour, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(cfg(Transpose, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("@0.05: neighbour %.1f cycles, transpose %.1f cycles", nn.AvgLatencyCycles, tr.AvgLatencyCycles)
+	if nn.AvgLatencyCycles >= tr.AvgLatencyCycles {
+		t.Errorf("neighbour (%.1f) must beat transpose (%.1f)", nn.AvgLatencyCycles, tr.AvgLatencyCycles)
+	}
+}
+
+func TestHotspotSaturatesEarliest(t *testing.T) {
+	// Concentrating 20% of traffic on one ejection port melts down at
+	// rates uniform handles comfortably.
+	hs, err := Run(cfg(Hotspot, 0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := Run(cfg(UniformRandom, 0.12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("@0.12: hotspot avg %.1f (sat=%v), uniform avg %.1f (sat=%v)",
+		hs.AvgLatencyCycles, hs.Saturated, un.AvgLatencyCycles, un.Saturated)
+	if hs.AvgLatencyCycles <= un.AvgLatencyCycles {
+		t.Errorf("hotspot (%.1f) must be worse than uniform (%.1f)", hs.AvgLatencyCycles, un.AvgLatencyCycles)
+	}
+}
+
+func TestSweepCurveShape(t *testing.T) {
+	rates := []float64{0.01, 0.03, 0.06, 0.1, 0.2, 0.4, 0.8}
+	curve, err := Sweep(cfg(UniformRandom, 0), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) < 4 {
+		t.Fatalf("sweep produced only %d points", len(curve))
+	}
+	// Latency non-decreasing along the curve (within noise).
+	for i := 1; i < len(curve); i++ {
+		if curve[i].AvgLatencyCycles < curve[i-1].AvgLatencyCycles*0.9 {
+			t.Errorf("latency fell along the load curve at %.2f", curve[i].OfferedLoad)
+		}
+	}
+	// The sweep must terminate early once deeply saturated.
+	if len(curve) == len(rates) && curve[len(curve)-1].OfferedLoad == 0.8 && !curve[len(curve)-1].Saturated {
+		t.Error("0.8 pkt/node/cycle cannot be unsaturated")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := cfg(UniformRandom, 0)
+	if _, err := Run(c); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	c = cfg(UniformRandom, 0.1)
+	c.Mesh.NX = 0
+	if _, err := Run(c); err == nil {
+		t.Error("expected error for invalid mesh")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range Patterns() {
+		if p.String() == "" {
+			t.Errorf("pattern %d has no name", int(p))
+		}
+	}
+	if Pattern(99).String() == "" {
+		t.Error("unknown pattern must still print")
+	}
+}
+
+func TestO1TurnHelpsTranspose(t *testing.T) {
+	// The classic O1TURN result: splitting packets between the XY and
+	// YX route families relieves transpose's bisection hotspots.
+	base := cfg(Transpose, 0.08)
+	xyz, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := base
+	adaptive.Mesh.Routing = noc.RoutingO1Turn
+	o1, err := Run(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("transpose @0.08: xyz %.1f cycles, o1turn %.1f cycles", xyz.AvgLatencyCycles, o1.AvgLatencyCycles)
+	if o1.AvgLatencyCycles >= xyz.AvgLatencyCycles {
+		t.Errorf("O1TURN (%.1f) should beat XYZ (%.1f) on transpose", o1.AvgLatencyCycles, xyz.AvgLatencyCycles)
+	}
+}
+
+func TestO1TurnStaysMinimal(t *testing.T) {
+	// Both route families are minimal: hop counts must match XYZ.
+	k := simNewKernelForTest()
+	meshCfg := noc.DefaultConfig(2, 2.0e9)
+	meshCfg.Routing = noc.RoutingO1Turn
+	m, err := noc.New(k, meshCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Deliver = func(p *noc.Packet) {}
+	m.Send(&noc.Packet{Src: m.NodeID(0, 0, 0), Dst: m.NodeID(3, 3, 1), Flits: 1})
+	m.Send(&noc.Packet{Src: m.NodeID(0, 0, 0), Dst: m.NodeID(3, 3, 1), Flits: 1})
+	k.Run(nil)
+	if m.Stats.TotalHops != 2*7 {
+		t.Errorf("O1TURN hops %d, want 14 (both packets minimal)", m.Stats.TotalHops)
+	}
+}
