@@ -1,0 +1,258 @@
+// Command watersrvd serves the water-immersion simulation pipeline
+// over HTTP: planner (max-frequency) and co-simulation requests become
+// cacheable, concurrent, cancellable network jobs backed by
+// internal/service.
+//
+// Usage:
+//
+//	watersrvd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
+//	          [-sync-timeout 120s] [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST   /v1/plan            synchronous plan request (api.PlanRequest body)
+//	POST   /v1/cosim           synchronous cosim request (api.CosimRequest body)
+//	POST   /v1/jobs            async submit ({"plan": {...}} or {"cosim": {...}})
+//	GET    /v1/jobs/{id}       job status
+//	GET    /v1/jobs/{id}/result job result (202 while pending)
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/metrics         engine metrics as JSON
+//	GET    /healthz            liveness
+//	GET    /debug/vars         expvar (includes the metrics snapshot)
+//
+// Synchronous endpoints wait up to -sync-timeout; if the simulation
+// is still running they answer 202 with the job snapshot so the
+// client can poll /v1/jobs/{id} — the job keeps running. SIGINT and
+// SIGTERM stop the listener and drain in-flight jobs for up to
+// -drain-timeout before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/service"
+)
+
+var (
+	flagAddr         = flag.String("addr", ":8080", "listen address")
+	flagWorkers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flagQueue        = flag.Int("queue", 256, "job queue depth")
+	flagCache        = flag.Int("cache", 512, "result cache entries")
+	flagSyncTimeout  = flag.Duration("sync-timeout", 120*time.Second, "max wait of the synchronous endpoints")
+	flagDrainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+)
+
+// server binds the engine to the HTTP surface.
+type server struct {
+	engine      *service.Engine
+	syncTimeout time.Duration
+}
+
+func newHandler(e *service.Engine, syncTimeout time.Duration) http.Handler {
+	s := &server{engine: e, syncTimeout: syncTimeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		s.sync(w, r, &api.PlanRequest{})
+	})
+	mux.HandleFunc("POST /v1/cosim", func(w http.ResponseWriter, r *http.Request) {
+		s.sync(w, r, &api.CosimRequest{})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// submitStatus maps a Submit failure onto an HTTP status.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Metrics())
+}
+
+// sync runs a request to completion within the sync timeout and
+// returns the bare response payload. If the budget runs out first it
+// answers 202 with the job snapshot; the job keeps running and the
+// client can poll the async endpoints.
+func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
+	if err := decodeBody(r, req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	in, err := s.engine.Submit(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.syncTimeout)
+	defer cancel()
+	got, err := s.engine.Wait(ctx, in.ID)
+	if err != nil {
+		// Timeout or client disconnect: hand back the job handle.
+		st, stErr := s.engine.Status(in.ID)
+		if stErr != nil {
+			writeError(w, http.StatusInternalServerError, stErr)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	switch got.State {
+	case service.StateDone:
+		writeJSON(w, http.StatusOK, got.Result)
+	case service.StateCanceled:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s was cancelled", got.ID))
+	default:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var env api.Envelope
+	if err := decodeBody(r, &env); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := env.Request()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	in, err := s.engine.Submit(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if in.State.Terminal() {
+		status = http.StatusOK // cache hit: already done
+	}
+	writeJSON(w, status, in)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	in, err := s.engine.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, in)
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	in, err := s.engine.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, service.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrNotDone):
+		writeJSON(w, http.StatusAccepted, in)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, in)
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	in, err := s.engine.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, in)
+}
+
+func main() {
+	flag.Parse()
+	engine := service.New(service.Config{
+		Workers:      *flagWorkers,
+		QueueDepth:   *flagQueue,
+		CacheEntries: *flagCache,
+	})
+	expvar.Publish("watersrvd", expvar.Func(func() any { return engine.Metrics() }))
+
+	srv := &http.Server{
+		Addr:              *flagAddr,
+		Handler:           newHandler(engine, *flagSyncTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "watersrvd: listening on %s\n", *flagAddr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "watersrvd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop the listener, finish in-flight HTTP
+	// handlers, then drain queued and running jobs.
+	fmt.Fprintln(os.Stderr, "watersrvd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *flagDrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "watersrvd: http shutdown:", err)
+	}
+	if err := engine.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "watersrvd: drain aborted in-flight jobs:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "watersrvd: drained cleanly")
+}

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/service"
+)
+
+func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Engine) {
+	t.Helper()
+	e := service.New(cfg)
+	ts := httptest.NewServer(newHandler(e, time.Minute))
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return ts, e
+}
+
+const fastPlanBody = `{"chip": "lp", "chips": 1, "grid_nx": 8, "grid_ny": 8}`
+
+// slowPlanBody must outlive the test's cancel round-trips.
+const slowPlanBody = `{"chip": "lp", "chips": 16, "grid_nx": 64, "grid_ny": 64, "converge_leakage": true}`
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSyncPlanEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := post(t, ts.URL+"/v1/plan", fastPlanBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync plan: %d %s", resp.StatusCode, body)
+	}
+	var plan api.PlanResponse
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatalf("decode: %v in %s", err, body)
+	}
+	if !plan.Feasible || plan.FrequencyGHz <= 0 || plan.PeakC > 80 {
+		t.Fatalf("implausible plan: %+v", plan)
+	}
+}
+
+func TestSyncCosimEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := post(t, ts.URL+"/v1/cosim",
+		`{"benchmark": "ep", "chips": 1, "grid_nx": 8, "grid_ny": 8, "scale": 0.1, "max_samples": 8}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync cosim: %d %s", resp.StatusCode, body)
+	}
+	var cs api.CosimResponse
+	if err := json.Unmarshal(body, &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Seconds <= 0 || cs.Intervals == 0 || len(cs.Series) > 8 {
+		t.Fatalf("implausible cosim: %+v", cs)
+	}
+}
+
+// TestRepeatRequestCached is the acceptance path: an identical repeat
+// request must come back from the cache, observable in the metrics.
+func TestRepeatRequestCached(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp1, body1 := post(t, ts.URL+"/v1/plan", fastPlanBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first: %d %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/plan", fastPlanBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second: %d %s", resp2.StatusCode, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached result differs:\n%s\n%s", body1, body2)
+	}
+	_, mbody := get(t, ts.URL+"/v1/metrics")
+	var m service.Snapshot
+	if err := json.Unmarshal(mbody, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 || m.JobsDone != 1 {
+		t.Fatalf("metrics after repeat: hits %d, done %d (want 1, 1)", m.CacheHits, m.JobsDone)
+	}
+	if m.CacheHitRate != 0.5 {
+		t.Fatalf("hit rate %g, want 0.5", m.CacheHitRate)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := post(t, ts.URL+"/v1/jobs", `{"plan": `+fastPlanBody+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var in service.JobInfo
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.ID == "" || in.State != service.StateQueued {
+		t.Fatalf("submit snapshot: %+v", in)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body = get(t, ts.URL+"/v1/jobs/"+in.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d %s", resp.StatusCode, body)
+		}
+		var st service.JobInfo
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			if st.State != service.StateDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, body = get(t, ts.URL+"/v1/jobs/"+in.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Result api.PlanResponse `json:"result"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Result.Feasible {
+		t.Fatalf("result payload: %s", body)
+	}
+
+	// A second identical async submit is a cache hit: 200, done.
+	resp, body = post(t, ts.URL+"/v1/jobs", `{"plan": `+fastPlanBody+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: %d %s", resp.StatusCode, body)
+	}
+	var hit service.JobInfo
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || hit.State != service.StateDone {
+		t.Fatalf("cached submit snapshot: %+v", hit)
+	}
+}
+
+func TestResultWhilePending(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	_, blocker := post(t, ts.URL+"/v1/jobs", `{"plan": `+slowPlanBody+`}`)
+	var b service.JobInfo
+	if err := json.Unmarshal(blocker, &b); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts.URL+"/v1/jobs/"+b.ID+"/result")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pending result: %d %s", resp.StatusCode, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelStopsSolver is the acceptance path: cancelling a running
+// job must stop the underlying solver promptly via its context.
+func TestCancelStopsSolver(t *testing.T) {
+	ts, e := newTestServer(t, service.Config{})
+	_, body := post(t, ts.URL+"/v1/jobs", `{"plan": `+slowPlanBody+`}`)
+	var in service.JobInfo
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+
+	// Wait until it is actually running so the cancel exercises the
+	// solver's context poll, not the queued fast path.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := e.Status(in.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("slow job already %s; make it slower", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+in.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	got, err := e.Wait(ctx, in.ID)
+	if err != nil {
+		t.Fatalf("solver did not stop after cancel: %v", err)
+	}
+	if got.State != service.StateCanceled {
+		t.Fatalf("state %s after cancel", got.State)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("cancel took %v", took)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	cases := []struct {
+		url, body string
+		want      int
+	}{
+		{"/v1/plan", `{not json`, http.StatusBadRequest},
+		{"/v1/plan", `{"coolant": "lava"}`, http.StatusBadRequest},
+		{"/v1/plan", `{"unknown_field": 1}`, http.StatusBadRequest},
+		{"/v1/jobs", `{}`, http.StatusBadRequest},
+		{"/v1/jobs", `{"plan": {}, "cosim": {}}`, http.StatusBadRequest},
+		{"/v1/cosim", `{"ghz": 3.21}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %s: %d (want %d): %s", c.url, c.body, resp.StatusCode, c.want, body)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status: %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/v1/jobs/nope/result")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job result: %d", resp.StatusCode)
+	}
+}
+
+func TestExpvarExposed(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := get(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("expvar: %d %.80s", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulShutdownDrains mirrors the SIGTERM path main() wires:
+// stop the HTTP listener, then drain the engine with jobs in flight —
+// every accepted job must still finish.
+func TestGracefulShutdownDrains(t *testing.T) {
+	e := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(newHandler(e, time.Minute))
+
+	ids := make([]string, 0, 4)
+	for c := 1; c <= 4; c++ {
+		body := fmt.Sprintf(`{"plan": {"chip": "lp", "chips": %d, "grid_nx": 8, "grid_ny": 8}}`, c)
+		resp, b := post(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", c, resp.StatusCode, b)
+		}
+		var in service.JobInfo
+		if err := json.Unmarshal(b, &in); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, in.ID)
+	}
+
+	// The shutdown sequence of main(): close the listener, then
+	// drain queued and running jobs.
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		got, err := e.Result(id)
+		if err != nil {
+			t.Fatalf("job %s after drain: %v", id, err)
+		}
+		if got.State != service.StateDone {
+			t.Fatalf("job %s drained in state %s (%s)", id, got.State, got.Error)
+		}
+	}
+}

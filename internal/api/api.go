@@ -1,0 +1,373 @@
+// Package api defines the canonical JSON schema of the simulation
+// service: request and response types for the two core workloads —
+// a *plan* request (max-frequency search via core.Planner) and a
+// *cosim* request (performance↔thermal co-simulation via cosim.Run)
+// — plus validation and a deterministic canonicalization that hashes
+// every request to a stable SHA-256 cache key.
+//
+// Canonicalization rules (these define cache-key identity, so they
+// are versioned by SchemaVersion and must only change with a bump):
+//
+//  1. Normalize fills every defaultable field with its documented
+//     default and resolves chip-name aliases (lp → low-power,
+//     hf → high-frequency), so a request that spells a default out
+//     explicitly and one that omits it are the same request.
+//  2. The normalized struct is serialized with encoding/json, whose
+//     struct-field order is declaration order — deterministic for a
+//     fixed schema.
+//  3. The key is hex(SHA-256("waterimm/v<version>/<kind>\x00" ||
+//     canonical JSON)). The kind prefix keeps a plan and a cosim
+//     request with coincidentally identical JSON from colliding.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"waterimm/internal/material"
+	"waterimm/internal/npb"
+	"waterimm/internal/power"
+)
+
+// SchemaVersion tags the canonical encoding; bump it whenever a
+// field is added, renamed, or a default changes, so stale cache
+// entries from older schema generations can never be returned.
+const SchemaVersion = 1
+
+// Request is the common surface of the service's request kinds.
+type Request interface {
+	// Kind returns "plan" or "cosim".
+	Kind() string
+	// Normalize fills defaults and resolves aliases in place.
+	Normalize()
+	// Validate reports the first invalid field. Callers should
+	// Normalize first; Validate does not apply defaults.
+	Validate() error
+	// CacheKey returns the canonical SHA-256 hex key of the
+	// normalized request. It does not mutate the receiver.
+	CacheKey() string
+}
+
+// chipAlias maps the short chip spellings the CLIs accept onto the
+// canonical power.Model names.
+var chipAlias = map[string]string{
+	"lp": "low-power", "hf": "high-frequency",
+}
+
+// PlanRequest asks for the maximum temperature-constrained operating
+// frequency of a chip stack under a coolant (core.Planner).
+type PlanRequest struct {
+	// Chip is a power model name: low-power (lp), high-frequency
+	// (hf), e5, phi. Default low-power.
+	Chip string `json:"chip"`
+	// Chips is the stack depth. Default 1.
+	Chips int `json:"chips"`
+	// Coolant is a material coolant name: air, water-pipe,
+	// mineral-oil, fluorinert, water. Default water.
+	Coolant string `json:"coolant"`
+	// ThresholdC is the junction temperature limit. Default 80.
+	ThresholdC float64 `json:"threshold_c"`
+	// Flip rotates every odd die by 180° (thermal-aware stacking).
+	Flip bool `json:"flip"`
+	// ConvergeLeakage iterates the leakage↔temperature fixed point
+	// instead of assuming worst-case leakage at the threshold.
+	ConvergeLeakage bool `json:"converge_leakage"`
+	// GridNX and GridNY set the thermal grid resolution. Default 32.
+	GridNX int `json:"grid_nx"`
+	GridNY int `json:"grid_ny"`
+}
+
+// Kind implements Request.
+func (r *PlanRequest) Kind() string { return "plan" }
+
+// Normalize implements Request.
+func (r *PlanRequest) Normalize() {
+	if r.Chip == "" {
+		r.Chip = "low-power"
+	}
+	if full, ok := chipAlias[r.Chip]; ok {
+		r.Chip = full
+	}
+	if r.Chips == 0 {
+		r.Chips = 1
+	}
+	if r.Coolant == "" {
+		r.Coolant = "water"
+	}
+	if r.ThresholdC == 0 {
+		r.ThresholdC = 80
+	}
+	if r.GridNX == 0 {
+		r.GridNX = 32
+	}
+	if r.GridNY == 0 {
+		r.GridNY = 32
+	}
+}
+
+// Validate implements Request.
+func (r *PlanRequest) Validate() error {
+	if _, err := power.ModelByName(r.Chip); err != nil {
+		return fmt.Errorf("api: plan: %w", err)
+	}
+	if _, err := material.ByName(r.Coolant); err != nil {
+		return fmt.Errorf("api: plan: %w", err)
+	}
+	if r.Chips < 1 || r.Chips > 32 {
+		return fmt.Errorf("api: plan: chips must be in [1, 32], got %d", r.Chips)
+	}
+	if r.ThresholdC <= 25 || r.ThresholdC > 200 {
+		return fmt.Errorf("api: plan: threshold_c must be in (25, 200], got %g", r.ThresholdC)
+	}
+	if err := validGrid(r.GridNX, r.GridNY); err != nil {
+		return fmt.Errorf("api: plan: %w", err)
+	}
+	return nil
+}
+
+// CacheKey implements Request.
+func (r *PlanRequest) CacheKey() string {
+	c := *r
+	c.Normalize()
+	return cacheKey(c.Kind(), &c)
+}
+
+// PlanResponse is the outcome of a plan request.
+type PlanResponse struct {
+	// Feasible is false when even the slowest VFS step violates the
+	// threshold; the remaining fields are then zero.
+	Feasible bool `json:"feasible"`
+	// FrequencyGHz is the fastest admissible frequency.
+	FrequencyGHz float64 `json:"frequency_ghz"`
+	// VoltageV is the supply voltage of the chosen VFS step.
+	VoltageV float64 `json:"voltage_v"`
+	// PeakC is the steady-state peak temperature at that step.
+	PeakC float64 `json:"peak_c"`
+	// ChipPowerW is the chosen step's per-chip power at the
+	// reference temperature.
+	ChipPowerW float64 `json:"chip_power_w"`
+	// DiePeaksC lists the peak temperature of each die layer, bottom
+	// to top, at the chosen step.
+	DiePeaksC []float64 `json:"die_peaks_c,omitempty"`
+}
+
+// CosimRequest asks for an activity-driven performance↔thermal
+// co-simulation (cosim.Run).
+type CosimRequest struct {
+	// Benchmark is an NPB kernel name (bt cg ep ft is lu mg sp ua).
+	// Default ep.
+	Benchmark string `json:"benchmark"`
+	// Chip is a power model name; only the CMP models carry the
+	// full-system configuration. Default high-frequency.
+	Chip string `json:"chip"`
+	// Chips is the stack depth. Default 1.
+	Chips int `json:"chips"`
+	// Coolant is a coolant name. Default water.
+	Coolant string `json:"coolant"`
+	// GHz is the initial (and uncore) frequency; it must be a VFS
+	// step of the chip. Default 3.6.
+	GHz float64 `json:"ghz"`
+	// Scale shrinks the NPB problem class. Default 0.3.
+	Scale float64 `json:"scale"`
+	// Seed seeds the synthetic workload streams. Default 1.
+	Seed int64 `json:"seed"`
+	// IntervalS is the thermal coupling period in simulated seconds.
+	// Default 100e-6.
+	IntervalS float64 `json:"interval_s"`
+	// DurationS loops the workload for this much simulated time;
+	// 0 runs a single pass. Default 0.
+	DurationS float64 `json:"duration_s"`
+	// DVFSSetpointC enables the DVFS governor with this setpoint;
+	// 0 leaves the governor off.
+	DVFSSetpointC float64 `json:"dvfs_setpoint_c"`
+	// DVFSHysteresisC is the governor hysteresis band; defaults to 1
+	// when the governor is enabled.
+	DVFSHysteresisC float64 `json:"dvfs_hysteresis_c"`
+	// GridNX and GridNY set the thermal grid resolution. Default 32.
+	GridNX int `json:"grid_nx"`
+	GridNY int `json:"grid_ny"`
+	// MaxSamples caps the returned time series; longer traces are
+	// decimated evenly. Default 256. The cap is part of the cache
+	// key (it changes the response payload).
+	MaxSamples int `json:"max_samples"`
+}
+
+// Kind implements Request.
+func (r *CosimRequest) Kind() string { return "cosim" }
+
+// Normalize implements Request.
+func (r *CosimRequest) Normalize() {
+	if r.Benchmark == "" {
+		r.Benchmark = "ep"
+	}
+	if r.Chip == "" {
+		r.Chip = "high-frequency"
+	}
+	if full, ok := chipAlias[r.Chip]; ok {
+		r.Chip = full
+	}
+	if r.Chips == 0 {
+		r.Chips = 1
+	}
+	if r.Coolant == "" {
+		r.Coolant = "water"
+	}
+	if r.GHz == 0 {
+		r.GHz = 3.6
+	}
+	if r.Scale == 0 {
+		r.Scale = 0.3
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.IntervalS == 0 {
+		r.IntervalS = 100e-6
+	}
+	if r.DVFSSetpointC > 0 && r.DVFSHysteresisC == 0 {
+		r.DVFSHysteresisC = 1
+	}
+	if r.GridNX == 0 {
+		r.GridNX = 32
+	}
+	if r.GridNY == 0 {
+		r.GridNY = 32
+	}
+	if r.MaxSamples == 0 {
+		r.MaxSamples = 256
+	}
+}
+
+// Validate implements Request.
+func (r *CosimRequest) Validate() error {
+	if _, err := npb.ByName(r.Benchmark); err != nil {
+		return fmt.Errorf("api: cosim: %w", err)
+	}
+	chip, err := power.ModelByName(r.Chip)
+	if err != nil {
+		return fmt.Errorf("api: cosim: %w", err)
+	}
+	// cosim.Run requires the frequency to land exactly on a VFS step
+	// (the governor walks the discrete table), so mirror that check
+	// here and fail at validation time rather than at run time.
+	onStep := false
+	for _, s := range chip.Steps() {
+		if s.FHz == r.GHz*1e9 {
+			onStep = true
+			break
+		}
+	}
+	if !onStep {
+		return fmt.Errorf("api: cosim: %.2f GHz is not a VFS step of %s", r.GHz, chip.Name)
+	}
+	if _, err := material.ByName(r.Coolant); err != nil {
+		return fmt.Errorf("api: cosim: %w", err)
+	}
+	if r.Chips < 1 || r.Chips > 32 {
+		return fmt.Errorf("api: cosim: chips must be in [1, 32], got %d", r.Chips)
+	}
+	if r.Scale <= 0 || r.Scale > 10 {
+		return fmt.Errorf("api: cosim: scale must be in (0, 10], got %g", r.Scale)
+	}
+	if r.IntervalS <= 0 || r.IntervalS > 1 {
+		return fmt.Errorf("api: cosim: interval_s must be in (0, 1], got %g", r.IntervalS)
+	}
+	if r.DurationS < 0 || r.DurationS > 60 {
+		return fmt.Errorf("api: cosim: duration_s must be in [0, 60], got %g", r.DurationS)
+	}
+	if r.DurationS > 0 && r.DurationS/r.IntervalS > 200_000 {
+		return fmt.Errorf("api: cosim: duration_s/interval_s = %.0f intervals exceeds the 200000 cap",
+			r.DurationS/r.IntervalS)
+	}
+	if r.DVFSSetpointC < 0 || r.DVFSHysteresisC < 0 {
+		return fmt.Errorf("api: cosim: negative DVFS parameters")
+	}
+	if err := validGrid(r.GridNX, r.GridNY); err != nil {
+		return fmt.Errorf("api: cosim: %w", err)
+	}
+	if r.MaxSamples < 1 || r.MaxSamples > 100_000 {
+		return fmt.Errorf("api: cosim: max_samples must be in [1, 100000], got %d", r.MaxSamples)
+	}
+	return nil
+}
+
+// CacheKey implements Request.
+func (r *CosimRequest) CacheKey() string {
+	c := *r
+	c.Normalize()
+	return cacheKey(c.Kind(), &c)
+}
+
+// CosimSample is one (possibly decimated) point of the trace.
+type CosimSample struct {
+	TimeS    float64 `json:"time_s"`
+	GHz      float64 `json:"ghz"`
+	PeakC    float64 `json:"peak_c"`
+	DynamicW float64 `json:"dynamic_w"`
+	StaticW  float64 `json:"static_w"`
+	GIPS     float64 `json:"gips"`
+}
+
+// CosimResponse is the outcome of a cosim request.
+type CosimResponse struct {
+	// Seconds is the simulated execution time.
+	Seconds float64 `json:"seconds"`
+	// Iterations counts completed workload passes in looped mode.
+	Iterations int `json:"iterations"`
+	// MaxPeakC is the hottest transient instant.
+	MaxPeakC float64 `json:"max_peak_c"`
+	// SteadyPlannerPeakC is the static methodology's worst case for
+	// the same operating point, for comparison.
+	SteadyPlannerPeakC float64 `json:"steady_planner_peak_c"`
+	// Throttles counts downward DVFS steps.
+	Throttles int `json:"throttles"`
+	// MeanGHz is the time-average core frequency.
+	MeanGHz float64 `json:"mean_ghz"`
+	// Intervals is the undecimated trace length.
+	Intervals int `json:"intervals"`
+	// Series is the (decimated) trace.
+	Series []CosimSample `json:"series,omitempty"`
+}
+
+// Envelope carries exactly one request in a JSON body; the set field
+// names the kind: {"plan": {...}} or {"cosim": {...}}.
+type Envelope struct {
+	Plan  *PlanRequest  `json:"plan,omitempty"`
+	Cosim *CosimRequest `json:"cosim,omitempty"`
+}
+
+// Request unwraps the envelope, erroring unless exactly one kind is
+// present.
+func (e *Envelope) Request() (Request, error) {
+	switch {
+	case e.Plan != nil && e.Cosim != nil:
+		return nil, fmt.Errorf("api: envelope carries both a plan and a cosim request")
+	case e.Plan != nil:
+		return e.Plan, nil
+	case e.Cosim != nil:
+		return e.Cosim, nil
+	}
+	return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}} or {"cosim": {...}})`)
+}
+
+func validGrid(nx, ny int) error {
+	if nx < 4 || nx > 128 || ny < 4 || ny > 128 {
+		return fmt.Errorf("grid %dx%d out of range [4, 128]", nx, ny)
+	}
+	return nil
+}
+
+// cacheKey hashes the canonical encoding of a normalized request.
+func cacheKey(kind string, normalized any) string {
+	b, err := json.Marshal(normalized)
+	if err != nil {
+		// Request types hold only plain scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("api: canonical marshal of %s request: %v", kind, err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "waterimm/v%d/%s\x00", SchemaVersion, kind)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPlanNormalizeDefaults(t *testing.T) {
+	r := &PlanRequest{}
+	r.Normalize()
+	if r.Chip != "low-power" || r.Chips != 1 || r.Coolant != "water" ||
+		r.ThresholdC != 80 || r.GridNX != 32 || r.GridNY != 32 {
+		t.Fatalf("unexpected defaults: %+v", r)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("normalized default request must validate: %v", err)
+	}
+}
+
+func TestChipAliases(t *testing.T) {
+	r := &PlanRequest{Chip: "hf"}
+	r.Normalize()
+	if r.Chip != "high-frequency" {
+		t.Fatalf("hf alias: got %q", r.Chip)
+	}
+	c := &CosimRequest{Chip: "lp", GHz: 2.8}
+	c.Normalize()
+	if c.Chip != "low-power" {
+		t.Fatalf("lp alias: got %q", c.Chip)
+	}
+}
+
+// A request with defaults spelled out and one that omits them must
+// share a cache key: the whole point of canonicalization.
+func TestCacheKeyCanonical(t *testing.T) {
+	implicit := &PlanRequest{}
+	explicit := &PlanRequest{
+		Chip: "lp", Chips: 1, Coolant: "water",
+		ThresholdC: 80, GridNX: 32, GridNY: 32,
+	}
+	if implicit.CacheKey() != explicit.CacheKey() {
+		t.Fatalf("canonicalization broken:\n%s\n%s", implicit.CacheKey(), explicit.CacheKey())
+	}
+	// CacheKey must not mutate the receiver.
+	if implicit.Chip != "" {
+		t.Fatalf("CacheKey mutated the request: %+v", implicit)
+	}
+}
+
+func TestCacheKeyDistinguishes(t *testing.T) {
+	base := &PlanRequest{}
+	keys := map[string]string{"base": base.CacheKey()}
+	for name, r := range map[string]*PlanRequest{
+		"chips":     {Chips: 2},
+		"coolant":   {Coolant: "air"},
+		"flip":      {Flip: true},
+		"threshold": {ThresholdC: 85},
+	} {
+		k := r.CacheKey()
+		for prev, pk := range keys {
+			if k == pk {
+				t.Fatalf("%s and %s collide on %s", name, prev, k)
+			}
+		}
+		keys[name] = k
+	}
+}
+
+// Plan and cosim requests must never collide even if their canonical
+// JSON were coincidentally equal: the kind is part of the hash input.
+func TestCacheKeyKindPrefix(t *testing.T) {
+	p := &PlanRequest{}
+	c := &CosimRequest{}
+	if p.CacheKey() == c.CacheKey() {
+		t.Fatal("plan and cosim cache keys collide")
+	}
+}
+
+func TestCosimValidate(t *testing.T) {
+	ok := &CosimRequest{}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default cosim request must validate: %v", err)
+	}
+	bad := []*CosimRequest{
+		{Benchmark: "nope"},
+		{Chip: "nope"},
+		{Coolant: "nope"},
+		{GHz: 3.21},                      // not a VFS step
+		{Chips: 40},                      // too deep
+		{IntervalS: 2},                   // above cap
+		{DurationS: 61},                  // above cap
+		{Scale: -1},                      // negative
+		{GridNX: 2},                      // too coarse
+		{MaxSamples: -5},                 // negative
+		{DurationS: 30, IntervalS: 1e-6}, // interval-count cap
+	}
+	for i, r := range bad {
+		r.Normalize()
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad request %d validated: %+v", i, r)
+		}
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	var e Envelope
+	if err := json.Unmarshal([]byte(`{"plan": {"chips": 2}}`), &e); err != nil {
+		t.Fatal(err)
+	}
+	req, err := e.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind() != "plan" {
+		t.Fatalf("kind: got %q", req.Kind())
+	}
+
+	var both Envelope
+	both.Plan = &PlanRequest{}
+	both.Cosim = &CosimRequest{}
+	if _, err := both.Request(); err == nil {
+		t.Fatal("envelope with both kinds must error")
+	}
+	var none Envelope
+	if _, err := none.Request(); err == nil || !strings.Contains(err.Error(), "no request") {
+		t.Fatalf("empty envelope: %v", err)
+	}
+}
+
+// The canonical JSON is part of the cache-key contract: field order
+// is declaration order, so this test freezes the plan schema. If it
+// fails, a field was added or reordered — bump SchemaVersion.
+func TestPlanCanonicalEncodingFrozen(t *testing.T) {
+	r := &PlanRequest{}
+	r.Normalize()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"chip":"low-power","chips":1,"coolant":"water","threshold_c":80,` +
+		`"flip":false,"converge_leakage":false,"grid_nx":32,"grid_ny":32}`
+	if string(b) != want {
+		t.Fatalf("canonical plan encoding changed (bump SchemaVersion?):\n got %s\nwant %s", b, want)
+	}
+}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -75,6 +76,13 @@ func (p *Planner) leakTemp(m power.Model) float64 {
 // Solve simulates one spec and returns the thermal field plus the VFS
 // step that produced it.
 func (p *Planner) Solve(spec StackSpec) (*thermal.Result, power.Step, error) {
+	return p.SolveCtx(context.Background(), spec)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is
+// threaded into the conjugate-gradient solver, so a cancelled request
+// (service timeout, client disconnect) abandons the solve promptly.
+func (p *Planner) SolveCtx(ctx context.Context, spec StackSpec) (*thermal.Result, power.Step, error) {
 	if spec.Chips < 1 {
 		return nil, power.Step{}, fmt.Errorf("core: need at least one chip, got %d", spec.Chips)
 	}
@@ -100,7 +108,7 @@ func (p *Planner) Solve(spec StackSpec) (*thermal.Result, power.Step, error) {
 		if err != nil {
 			return nil, err
 		}
-		return thermal.Solve(model, thermal.SolveOptions{})
+		return thermal.Solve(model, thermal.SolveOptions{Ctx: ctx})
 	}
 	if !p.ConvergeLeakage {
 		res, err := solveAt(p.leakTemp(spec.Chip))
@@ -128,7 +136,12 @@ func (p *Planner) Solve(spec StackSpec) (*thermal.Result, power.Step, error) {
 
 // PeakAt returns the peak junction temperature for a spec.
 func (p *Planner) PeakAt(spec StackSpec) (float64, error) {
-	res, _, err := p.Solve(spec)
+	return p.PeakAtCtx(context.Background(), spec)
+}
+
+// PeakAtCtx is PeakAt with cooperative cancellation.
+func (p *Planner) PeakAtCtx(ctx context.Context, spec StackSpec) (float64, error) {
+	res, _, err := p.SolveCtx(ctx, spec)
 	if err != nil {
 		return 0, err
 	}
@@ -164,6 +177,13 @@ func (pl Plan) FrequencyGHz() float64 {
 // in the VFS step (higher frequency ⇒ higher voltage and power), so a
 // binary search over the table is exact.
 func (p *Planner) MaxFrequency(chip power.Model, chips int, coolant material.Coolant) (Plan, error) {
+	return p.MaxFrequencyCtx(context.Background(), chip, chips, coolant)
+}
+
+// MaxFrequencyCtx is MaxFrequency with cooperative cancellation,
+// checked before every thermal solve of the binary search and inside
+// the solver's iteration loop.
+func (p *Planner) MaxFrequencyCtx(ctx context.Context, chip power.Model, chips int, coolant material.Coolant) (Plan, error) {
 	steps := chip.Steps()
 	if len(steps) == 0 {
 		return Plan{}, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
@@ -171,7 +191,10 @@ func (p *Planner) MaxFrequency(chip power.Model, chips int, coolant material.Coo
 	plan := Plan{Chip: chip, Chips: chips, Coolant: coolant}
 
 	peakAt := func(i int) (float64, error) {
-		return p.PeakAt(StackSpec{Chip: chip, Chips: chips, Coolant: coolant, FHz: steps[i].FHz})
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("core: frequency search cancelled: %w", err)
+		}
+		return p.PeakAtCtx(ctx, StackSpec{Chip: chip, Chips: chips, Coolant: coolant, FHz: steps[i].FHz})
 	}
 
 	// Infeasible if the slowest step already violates the threshold.
@@ -217,11 +240,17 @@ func (p *Planner) MaxFrequency(chip power.Model, chips int, coolant material.Coo
 // every coolant in the given list, producing the data behind Figures
 // 1, 7, 8 and 17. The result is indexed [coolant][chips-1].
 func (p *Planner) MaxFrequencySweep(chip power.Model, maxChips int, coolants []material.Coolant) ([][]Plan, error) {
+	return p.MaxFrequencySweepCtx(context.Background(), chip, maxChips, coolants)
+}
+
+// MaxFrequencySweepCtx is MaxFrequencySweep with cooperative
+// cancellation between (and within) the per-point searches.
+func (p *Planner) MaxFrequencySweepCtx(ctx context.Context, chip power.Model, maxChips int, coolants []material.Coolant) ([][]Plan, error) {
 	out := make([][]Plan, len(coolants))
 	for ci, c := range coolants {
 		out[ci] = make([]Plan, maxChips)
 		for n := 1; n <= maxChips; n++ {
-			pl, err := p.MaxFrequency(chip, n, c)
+			pl, err := p.MaxFrequencyCtx(ctx, chip, n, c)
 			if err != nil {
 				return nil, fmt.Errorf("core: sweep %s/%s/%d chips: %w", chip.Name, c.Name, n, err)
 			}

@@ -22,6 +22,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 
 	"waterimm/internal/coherence"
@@ -127,6 +128,15 @@ type Result struct {
 
 // Run executes the co-simulation to workload completion.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled
+// inside the event kernel (every few thousand events), inside the
+// thermal solves, and between coupling intervals, so a cancelled
+// request abandons the co-simulation mid-run. The returned error
+// wraps ctx.Err().
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Chips < 1 {
 		return nil, fmt.Errorf("cosim: need at least one chip")
 	}
@@ -204,7 +214,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Static-methodology reference point.
-	steadyRes, err := thermal.Solve(model, thermal.SolveOptions{})
+	steadyRes, err := thermal.Solve(model, thermal.SolveOptions{Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +227,9 @@ func Run(cfg Config) (*Result, error) {
 	lastPeak := cfg.Params.AmbientC
 	for iter := 0; iter < cfg.MaxIntervals; iter++ {
 		deadline += interval
-		k.RunFor(deadline)
+		if _, err := k.RunForCtx(ctx, deadline); err != nil {
+			return nil, fmt.Errorf("cosim: %w", err)
+		}
 
 		// Interval activity → power.
 		cur := activitySnapshot(sys, cores)

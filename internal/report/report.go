@@ -51,14 +51,15 @@ func CSV(w io.Writer, headers []string, rows [][]string) {
 	}
 }
 
-// BarChart draws horizontal bars scaled to width columns.
+// BarChart draws horizontal bars scaled to width columns. Non-finite
+// values get no bar (experiment sweeps use NaN for infeasible points).
 func BarChart(w io.Writer, labels []string, values []float64, width int) {
 	if width <= 0 {
 		width = 50
 	}
 	maxv, maxl := 0.0, 0
 	for i, v := range values {
-		if v > maxv {
+		if isFinite(v) && v > maxv {
 			maxv = v
 		}
 		if len(labels[i]) > maxl {
@@ -69,7 +70,19 @@ func BarChart(w io.Writer, labels []string, values []float64, width int) {
 		maxv = 1
 	}
 	for i, v := range values {
+		if !isFinite(v) {
+			fmt.Fprintf(w, "%-*s %8s\n", maxl, labels[i], "-")
+			continue
+		}
 		n := int(math.Round(v / maxv * float64(width)))
+		// Negative values (or a negative-only chart) would otherwise
+		// feed strings.Repeat a negative count, which panics.
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
 		fmt.Fprintf(w, "%-*s %8.3f %s\n", maxl, labels[i], v, strings.Repeat("#", n))
 	}
 }
@@ -91,14 +104,14 @@ func LineChart(w io.Writer, xlabels []string, series []Series, height int) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, s := range series {
 		for _, y := range s.Y {
-			if math.IsNaN(y) {
+			if !isFinite(y) {
 				continue
 			}
 			lo = math.Min(lo, y)
 			hi = math.Max(hi, y)
 		}
 	}
-	if math.IsInf(lo, 1) {
+	if math.IsInf(lo, 1) || len(xlabels) == 0 {
 		fmt.Fprintln(w, "(no data)")
 		return
 	}
@@ -113,7 +126,7 @@ func LineChart(w io.Writer, xlabels []string, series []Series, height int) {
 	}
 	for si, s := range series {
 		for i, y := range s.Y {
-			if math.IsNaN(y) || i >= cols {
+			if !isFinite(y) || i >= cols {
 				continue
 			}
 			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
@@ -136,13 +149,26 @@ func LineChart(w io.Writer, xlabels []string, series []Series, height int) {
 }
 
 // Heatmap renders an nx×ny scalar field with shaded characters and a
-// scale line, for the thermal-map figures.
+// scale line, for the thermal-map figures. Non-finite cells (a solver
+// blow-up, a masked region) render as '?' and are excluded from the
+// scale.
 func Heatmap(w io.Writer, field []float64, nx, ny int) {
+	if nx <= 0 || ny <= 0 || len(field) < nx*ny {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
 	shades := []byte(" .:-=+*#%@")
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range field {
+		if !isFinite(v) {
+			continue
+		}
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "(no data)")
+		return
 	}
 	span := hi - lo
 	if span == 0 {
@@ -153,6 +179,10 @@ func Heatmap(w io.Writer, field []float64, nx, ny int) {
 		var row strings.Builder
 		for i := 0; i < nx; i++ {
 			v := field[j*nx+i]
+			if !isFinite(v) {
+				row.WriteString("??")
+				continue
+			}
 			idx := int((v - lo) / span * float64(len(shades)-1))
 			if idx < 0 {
 				idx = 0
@@ -166,6 +196,11 @@ func Heatmap(w io.Writer, field []float64, nx, ny int) {
 		fmt.Fprintln(w, row.String())
 	}
 	fmt.Fprintf(w, "scale: %.1f°C '%c' … %.1f°C '%c'\n", lo, shades[0], hi, shades[len(shades)-1])
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // SortedKeys returns a map's keys in sorted order (deterministic

@@ -105,6 +105,122 @@ func TestHeatmap(t *testing.T) {
 	}
 }
 
+func TestBarChartNonFinite(t *testing.T) {
+	// NaN and ±Inf bars must not panic (a negative int(NaN) would
+	// crash strings.Repeat) and must not distort the scale.
+	var b strings.Builder
+	BarChart(&b, []string{"nan", "inf", "ninf", "ok"},
+		[]float64{math.NaN(), math.Inf(1), math.Inf(-1), 2}, 10)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines:\n%s", b.String())
+	}
+	for _, l := range lines[:3] {
+		if strings.Contains(l, "#") {
+			t.Errorf("non-finite value drew a bar: %q", l)
+		}
+	}
+	if strings.Count(lines[3], "#") != 10 {
+		t.Errorf("finite max must still span the full width: %q", lines[3])
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	// All-negative charts used to hand strings.Repeat a negative
+	// count.
+	var b strings.Builder
+	BarChart(&b, []string{"a", "b"}, []float64{-3, -1}, 10)
+	if !strings.Contains(b.String(), "-3.000") {
+		t.Errorf("negative values must still print:\n%s", b.String())
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, nil, nil, 10)
+	if b.Len() != 0 {
+		t.Errorf("empty chart printed %q", b.String())
+	}
+}
+
+func TestLineChartNoSeries(t *testing.T) {
+	var b strings.Builder
+	LineChart(&b, []string{"1", "2"}, nil, 5)
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty series list must say no data:\n%s", b.String())
+	}
+	var e strings.Builder
+	LineChart(&e, nil, []Series{{Name: "s", Y: []float64{1}}}, 5)
+	if !strings.Contains(e.String(), "no data") {
+		t.Errorf("no x labels must say no data:\n%s", e.String())
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	// One point means hi == lo: the y-range must widen rather than
+	// divide by zero.
+	var b strings.Builder
+	LineChart(&b, []string{"1"}, []Series{{Name: "pt", Y: []float64{42}}}, 5)
+	out := b.String()
+	if !strings.Contains(out, "o = pt") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Errorf("point missing:\n%s", out)
+	}
+}
+
+func TestLineChartInf(t *testing.T) {
+	// ±Inf points are unplottable: they must be skipped like NaN, not
+	// crash the row computation or flatten the finite points.
+	var b strings.Builder
+	LineChart(&b, []string{"1", "2", "3"}, []Series{
+		{Name: "s", Y: []float64{1, math.Inf(1), 3}},
+		{Name: "v", Y: []float64{math.Inf(-1), 2, math.NaN()}},
+	}, 8)
+	out := b.String()
+	if strings.Contains(out, "no data") {
+		t.Fatalf("finite points were dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "3.00") || !strings.Contains(out, "1.00") {
+		t.Errorf("y axis must span the finite range only:\n%s", out)
+	}
+}
+
+func TestHeatmapNonFinite(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, []float64{1, math.NaN(), math.Inf(1), 4}, 2, 2)
+	out := b.String()
+	if !strings.Contains(out, "??") {
+		t.Errorf("non-finite cells must render as '?':\n%s", out)
+	}
+	if !strings.Contains(out, "scale: 1.0") || !strings.Contains(out, "4.0") {
+		t.Errorf("scale must span the finite cells only:\n%s", out)
+	}
+}
+
+func TestHeatmapAllNonFinite(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.NaN()}, 2, 2)
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("all-non-finite field must say no data:\n%s", b.String())
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, nil, 0, 0)
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty field must say no data:\n%s", b.String())
+	}
+	// A field shorter than nx*ny must not index out of range.
+	var s strings.Builder
+	Heatmap(&s, []float64{1, 2}, 2, 2)
+	if !strings.Contains(s.String(), "no data") {
+		t.Errorf("short field must say no data:\n%s", s.String())
+	}
+}
+
 func TestSortedKeys(t *testing.T) {
 	keys := SortedKeys(map[string]int{"c": 1, "a": 2, "b": 3})
 	if strings.Join(keys, "") != "abc" {

@@ -1,0 +1,45 @@
+package service
+
+import "container/list"
+
+// lruCache is a plain LRU over canonical request hashes. It is not
+// internally synchronized: the engine calls it under its own mutex.
+type lruCache struct {
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

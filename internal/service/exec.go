@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"waterimm/internal/api"
+	"waterimm/internal/core"
+	"waterimm/internal/cosim"
+	"waterimm/internal/material"
+	"waterimm/internal/npb"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+)
+
+// execute dispatches a validated, normalized request to its solver.
+// The context is threaded into the solver loops, so cancelling it
+// abandons the simulation promptly.
+func execute(ctx context.Context, req api.Request) (any, error) {
+	switch r := req.(type) {
+	case *api.PlanRequest:
+		return runPlan(ctx, r)
+	case *api.CosimRequest:
+		return runCosim(ctx, r)
+	}
+	return nil, fmt.Errorf("service: unknown request kind %q", req.Kind())
+}
+
+func runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResponse, error) {
+	chip, err := power.ModelByName(r.Chip)
+	if err != nil {
+		return nil, err
+	}
+	coolant, err := material.ByName(r.Coolant)
+	if err != nil {
+		return nil, err
+	}
+	p := core.NewPlanner()
+	p.ThresholdC = r.ThresholdC
+	p.Flip = r.Flip
+	p.ConvergeLeakage = r.ConvergeLeakage
+	p.Params.GridNX, p.Params.GridNY = r.GridNX, r.GridNY
+
+	plan, err := p.MaxFrequencyCtx(ctx, chip, r.Chips, coolant)
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.PlanResponse{Feasible: plan.Feasible}
+	if !plan.Feasible {
+		return resp, nil
+	}
+	resp.FrequencyGHz = plan.Step.GHz()
+	resp.VoltageV = plan.Step.V
+	resp.PeakC = plan.PeakC
+	resp.ChipPowerW = plan.Step.TotalW()
+	// One extra solve at the chosen step for the per-die breakdown
+	// (the search only retains the stack-wide peak).
+	res, _, err := p.SolveCtx(ctx, core.StackSpec{
+		Chip: chip, Chips: r.Chips, Coolant: coolant, FHz: plan.Step.FHz,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.DiePeaksC = make([]float64, r.Chips)
+	for i := range resp.DiePeaksC {
+		resp.DiePeaksC[i] = res.LayerMax(stack.DieLayer(i))
+	}
+	return resp, nil
+}
+
+func runCosim(ctx context.Context, r *api.CosimRequest) (*api.CosimResponse, error) {
+	bench, err := npb.ByName(r.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := power.ModelByName(r.Chip)
+	if err != nil {
+		return nil, err
+	}
+	coolant, err := material.ByName(r.Coolant)
+	if err != nil {
+		return nil, err
+	}
+	params := stack.DefaultParams()
+	params.GridNX, params.GridNY = r.GridNX, r.GridNY
+	cfg := cosim.Config{
+		Chip: chip, Chips: r.Chips, Coolant: coolant, Params: params,
+		Benchmark: bench, Scale: r.Scale, Seed: r.Seed,
+		FHz: r.GHz * 1e9, IntervalS: r.IntervalS, DurationS: r.DurationS,
+	}
+	if r.DVFSSetpointC > 0 {
+		cfg.DVFS = &cosim.DVFSPolicy{SetpointC: r.DVFSSetpointC, HysteresisC: r.DVFSHysteresisC}
+	}
+	res, err := cosim.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.CosimResponse{
+		Seconds:            res.Seconds,
+		Iterations:         res.Iterations,
+		MaxPeakC:           res.MaxPeakC,
+		SteadyPlannerPeakC: res.SteadyPlannerPeakC,
+		Throttles:          res.Throttles,
+		MeanGHz:            res.MeanGHz,
+		Intervals:          len(res.Samples),
+	}
+	for _, i := range decimate(len(res.Samples), r.MaxSamples) {
+		s := res.Samples[i]
+		resp.Series = append(resp.Series, api.CosimSample{
+			TimeS: s.TimeS, GHz: s.FHz / 1e9, PeakC: s.PeakC,
+			DynamicW: s.DynamicW, StaticW: s.StaticW, GIPS: s.IPS / 1e9,
+		})
+	}
+	return resp, nil
+}
+
+// decimate picks at most max evenly spaced indices out of [0, n),
+// always keeping the first and last points.
+func decimate(n, max int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if max >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if max == 1 {
+		return []int{n - 1}
+	}
+	idx := make([]int, max)
+	for i := range idx {
+		idx[i] = i * (n - 1) / (max - 1)
+	}
+	return idx
+}

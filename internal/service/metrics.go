@@ -1,0 +1,146 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// histBounds are the latency bucket upper bounds in seconds, a
+// 1-2.5-5 decade ladder from 100 µs to 100 s. Simulation jobs span
+// milliseconds (a cached plan on a coarse grid) to tens of seconds
+// (a deep-stack cosim), so six decades cover the dynamic range.
+var histBounds = []float64{
+	100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3,
+	10e-3, 25e-3, 50e-3,
+	100e-3, 250e-3, 500e-3,
+	1, 2.5, 5,
+	10, 25, 50,
+	100,
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// not usable; construct with newHistogram.
+type Histogram struct {
+	// Bounds[i] is the inclusive upper bound of Counts[i], in
+	// seconds; observations above the last bound land in the
+	// overflow slot Counts[len(Bounds)].
+	Bounds []float64 `json:"bounds_s"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	SumS   float64   `json:"sum_s"`
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{Bounds: histBounds, Counts: make([]uint64, len(histBounds)+1)}
+}
+
+func (h *Histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.Bounds) && s > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.SumS += s
+}
+
+// MeanS returns the mean observation in seconds (0 when empty).
+func (h *Histogram) MeanS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumS / float64(h.Count)
+}
+
+func (h *Histogram) clone() *Histogram {
+	c := *h
+	c.Bounds = append([]float64(nil), h.Bounds...)
+	c.Counts = append([]uint64(nil), h.Counts...)
+	return &c
+}
+
+// metrics is the engine's internal registry; Engine.Metrics returns
+// consistent snapshots.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsSubmitted uint64
+	jobsDone      uint64
+	jobsFailed    uint64
+	jobsCanceled  uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+	dedupHits     uint64
+
+	// hists holds per-stage latency histograms: "queue" (submit →
+	// start, all kinds) and "run.<kind>" (start → finish).
+	hists map[string]*Histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{hists: map[string]*Histogram{"queue": newHistogram()}}
+}
+
+func (m *metrics) observe(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[stage]
+	if h == nil {
+		h = newHistogram()
+		m.hists[stage] = h
+	}
+	h.observe(d)
+}
+
+func (m *metrics) add(counter *uint64, n uint64) {
+	m.mu.Lock()
+	*counter += n
+	m.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of the metrics registry plus the
+// engine's instantaneous gauges, shaped for JSON and expvar.
+type Snapshot struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsQueued    int    `json:"jobs_queued"`
+	JobsRunning   int    `json:"jobs_running"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+	DedupHits    uint64  `json:"dedup_hits"`
+
+	Workers int `json:"workers"`
+
+	// LatencyS maps stage name ("queue", "run.plan", "run.cosim")
+	// to its histogram.
+	LatencyS map[string]*Histogram `json:"latency_s"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		JobsSubmitted: m.jobsSubmitted,
+		JobsDone:      m.jobsDone,
+		JobsFailed:    m.jobsFailed,
+		JobsCanceled:  m.jobsCanceled,
+		CacheHits:     m.cacheHits,
+		CacheMisses:   m.cacheMisses,
+		DedupHits:     m.dedupHits,
+		LatencyS:      make(map[string]*Histogram, len(m.hists)),
+	}
+	if total := m.cacheHits + m.cacheMisses; total > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	for name, h := range m.hists {
+		s.LatencyS[name] = h.clone()
+	}
+	return s
+}

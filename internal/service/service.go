@@ -1,0 +1,440 @@
+// Package service is the concurrent simulation-as-a-service engine
+// behind cmd/watersrvd: a bounded worker pool over an async job queue
+// with submit / status / result / cancel semantics, an LRU result
+// cache keyed by the canonical request hash (internal/api), in-flight
+// deduplication so identical concurrent requests share one
+// simulation, and a metrics registry (job counters, cache hit rate,
+// per-stage latency histograms).
+//
+// Job lifecycle:
+//
+//	Submit ──▶ queued ──▶ running ──▶ done
+//	   │          │           │  └──▶ failed
+//	   │          └───────────┴─────▶ canceled        (Cancel, timeout)
+//	   └─▶ done (cache hit: never queued)
+//
+// Identical requests — same canonical hash — are collapsed twice
+// over: a finished result is served from the LRU cache without
+// queueing, and a request identical to one still queued or running is
+// attached to that job (Submit returns the existing job's ID), so a
+// given configuration is never simulated twice concurrently.
+// Cancelling a shared job cancels it for every submitter.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"waterimm/internal/api"
+)
+
+// Config sizes the engine. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size; default GOMAXPROCS. The
+	// thermal solver already parallelizes its matvec across cores,
+	// so workers trade per-job latency against throughput.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// Submit fails with ErrQueueFull beyond it. Default 256.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache. Default 512.
+	CacheEntries int
+	// MaxFinishedJobs bounds how many finished job records are kept
+	// for status/result lookups before the oldest are forgotten.
+	// Default 4096.
+	MaxFinishedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 4096
+	}
+	return c
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors.
+var (
+	ErrQueueFull  = errors.New("service: job queue full")
+	ErrClosed     = errors.New("service: engine is shut down")
+	ErrUnknownJob = errors.New("service: unknown job")
+	ErrNotDone    = errors.New("service: job has not finished")
+)
+
+// JobInfo is a point-in-time snapshot of a job.
+type JobInfo struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Key is the canonical request hash (the cache key).
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// CacheHit marks a job satisfied from the result cache without
+	// simulating.
+	CacheHit bool `json:"cache_hit"`
+	// Deduped marks a Submit that attached to an already-queued or
+	// already-running identical job; only the returned snapshot of
+	// that Submit carries it.
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	// Result is the api.PlanResponse / api.CosimResponse payload;
+	// populated by Result only, and only for done jobs.
+	Result any `json:"result,omitempty"`
+}
+
+// job is the engine's mutable record; all fields below mu-guarded
+// state are written under Engine.mu.
+type job struct {
+	id   string
+	kind string
+	key  string
+	req  api.Request
+
+	state     State
+	cacheHit  bool
+	err       error
+	result    any
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+}
+
+func (j *job) info() JobInfo {
+	in := JobInfo{
+		ID: j.id, Kind: j.kind, Key: j.key, State: j.state,
+		CacheHit: j.cacheHit, SubmittedAt: j.submitted,
+		StartedAt: j.started, FinishedAt: j.finished,
+	}
+	if j.err != nil {
+		in.Error = j.err.Error()
+	}
+	return in
+}
+
+// Engine owns the worker pool, queue, cache and metrics.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // canonical key → queued/running job
+	finished []string        // finished job IDs, oldest first (GC ring)
+	cache    *lruCache
+	seq      uint64
+	closed   bool
+	running  int
+
+	queue    chan *job
+	workers  sync.WaitGroup
+	baseCtx  context.Context
+	abortAll context.CancelFunc
+
+	metrics *metrics
+}
+
+// New starts an engine and its workers.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newLRU(cfg.CacheEntries),
+		queue:    make(chan *job, cfg.QueueDepth),
+		baseCtx:  ctx,
+		abortAll: cancel,
+		metrics:  newMetrics(),
+	}
+	e.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit normalizes, validates, and enqueues a request, returning the
+// job snapshot. Three fast paths skip the queue: an invalid request
+// fails immediately, a cached result comes back as an already-done
+// job, and a request identical to a queued/running job returns that
+// job's ID with Deduped set. Submit takes ownership of req; callers
+// must not mutate it afterwards.
+func (e *Engine) Submit(req api.Request) (JobInfo, error) {
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		return JobInfo{}, err
+	}
+	key := req.CacheKey()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return JobInfo{}, ErrClosed
+	}
+	e.metrics.add(&e.metrics.jobsSubmitted, 1)
+
+	if res, ok := e.cache.get(key); ok {
+		e.metrics.add(&e.metrics.cacheHits, 1)
+		j := e.newJobLocked(req, key)
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = res
+		j.finished = j.submitted
+		close(j.done)
+		e.rememberFinishedLocked(j)
+		return j.info(), nil
+	}
+	e.metrics.add(&e.metrics.cacheMisses, 1)
+
+	if f, ok := e.inflight[key]; ok {
+		e.metrics.add(&e.metrics.dedupHits, 1)
+		in := f.info()
+		in.Deduped = true
+		return in, nil
+	}
+
+	j := e.newJobLocked(req, key)
+	j.state = StateQueued
+	j.ctx, j.cancel = context.WithCancel(e.baseCtx)
+	select {
+	case e.queue <- j:
+	default:
+		j.cancel()
+		delete(e.jobs, j.id)
+		return JobInfo{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
+	}
+	e.inflight[key] = j
+	return j.info(), nil
+}
+
+func (e *Engine) newJobLocked(req api.Request, key string) *job {
+	e.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d-%.8s", e.seq, key),
+		kind:      req.Kind(),
+		key:       key,
+		req:       req,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	e.jobs[j.id] = j
+	return j
+}
+
+// rememberFinishedLocked appends a terminal job to the GC ring and
+// evicts the oldest finished records beyond the cap, so a long-lived
+// server does not accumulate job records without bound.
+func (e *Engine) rememberFinishedLocked(j *job) {
+	e.finished = append(e.finished, j.id)
+	for len(e.finished) > e.cfg.MaxFinishedJobs {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	for j := range e.queue {
+		e.run(j)
+	}
+}
+
+func (e *Engine) run(j *job) {
+	e.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while queued; already finalized.
+		e.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	e.running++
+	e.metrics.observe("queue", j.started.Sub(j.submitted))
+	e.mu.Unlock()
+
+	result, err := execute(j.ctx, j.req)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.running--
+	j.finished = time.Now()
+	e.metrics.observe("run."+j.kind, j.finished.Sub(j.started))
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		e.cache.add(j.key, result)
+		e.metrics.add(&e.metrics.jobsDone, 1)
+	case j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = err
+		e.metrics.add(&e.metrics.jobsCanceled, 1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		e.metrics.add(&e.metrics.jobsFailed, 1)
+	}
+	delete(e.inflight, j.key)
+	e.rememberFinishedLocked(j)
+	j.cancel()
+	close(j.done)
+}
+
+// Status returns a job snapshot without its result payload.
+func (e *Engine) Status(id string) (JobInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrUnknownJob
+	}
+	return j.info(), nil
+}
+
+// Result returns a done job's snapshot including the response
+// payload. A job that is still pending returns ErrNotDone; a failed
+// or canceled job returns its snapshot and no error (the snapshot's
+// State and Error fields carry the outcome).
+func (e *Engine) Result(id string) (JobInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrUnknownJob
+	}
+	if !j.state.Terminal() {
+		return j.info(), ErrNotDone
+	}
+	in := j.info()
+	in.Result = j.result
+	return in, nil
+}
+
+// Cancel requests cancellation. A queued job is finalized
+// immediately; a running job's context is cancelled and the solver
+// abandons it at its next poll point. Cancelling a terminal job is a
+// no-op. The returned snapshot reflects the state after the call.
+func (e *Engine) Cancel(id string) (JobInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, ErrUnknownJob
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.cancel()
+		delete(e.inflight, j.key)
+		e.rememberFinishedLocked(j)
+		e.metrics.add(&e.metrics.jobsCanceled, 1)
+		close(j.done)
+	case StateRunning:
+		j.cancel()
+	}
+	return j.info(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx fires,
+// then returns the snapshot with the result payload when done.
+func (e *Engine) Wait(ctx context.Context, id string) (JobInfo, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobInfo{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return e.Result(id)
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// Metrics returns a consistent snapshot of counters, gauges and
+// latency histograms.
+func (e *Engine) Metrics() Snapshot {
+	s := e.metrics.snapshot()
+	e.mu.Lock()
+	s.JobsQueued = len(e.queue)
+	s.JobsRunning = e.running
+	s.CacheEntries = e.cache.len()
+	s.Workers = e.cfg.Workers
+	e.mu.Unlock()
+	return s
+}
+
+// Drain stops accepting new jobs, lets queued and running jobs finish,
+// and waits for the workers to exit. If ctx fires first, every
+// remaining job is aborted via its context and Drain waits for the
+// workers to observe that, returning ctx's error. Drain is
+// idempotent; concurrent calls all wait.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		e.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		e.abortAll()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Close aborts every in-flight job and waits for the workers to exit.
+func (e *Engine) Close() {
+	e.abortAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = e.Drain(ctx)
+}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,11 @@ type SolveOptions struct {
 	// Guess, if non-nil, seeds the iteration (e.g. the previous VFS
 	// step's field during a frequency sweep).
 	Guess []float64
+	// Ctx, if non-nil, is polled between CG iterations so a cancelled
+	// request (service timeout, client disconnect) abandons the solve
+	// promptly instead of iterating to convergence. The returned error
+	// wraps ctx.Err().
+	Ctx context.Context
 }
 
 func (o SolveOptions) withDefaults(n int) SolveOptions {
@@ -101,6 +107,11 @@ func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 	copy(p, z)
 	rz := dot(r, z)
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if opt.Ctx != nil && iter%8 == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("thermal: solve cancelled after %d iterations: %w", iter, err)
+			}
+		}
 		rn := math.Sqrt(dot(r, r))
 		if rn <= opt.Tol*r0norm {
 			return x, nil
