@@ -188,6 +188,57 @@ func BenchmarkPUEComparison(b *testing.B) {
 	b.ReportMetric(direct, "direct-PUE")
 }
 
+// --- Batched sweep vs independent plans (the PR 2 tentpole) ---
+
+// sweepBenchCase is the acceptance configuration: every coolant ×
+// stack depths 1-8 for the low-power CMP over its default VFS table
+// at the default 32×32 grid.
+const sweepBenchDepths = 8
+
+// BenchmarkSweepIndependent runs the sweep the way N independent plan
+// requests would: every solve rebuilds the floorplan and stack model,
+// re-assembles the conductance matrix, and cold-starts CG.
+func BenchmarkSweepIndependent(b *testing.B) {
+	benchFreqSweepPath(b, func() *core.Planner {
+		p := core.NewPlanner()
+		p.ColdStart = true
+		return p
+	})
+}
+
+// BenchmarkSweepBatched runs the identical sweep on the batch path:
+// one assembled system per (coolant, depth) geometry pooled in a
+// SystemCache, re-solved per VFS step with warm-started CG.
+func BenchmarkSweepBatched(b *testing.B) {
+	cache := thermal.NewSystemCache(64)
+	benchFreqSweepPath(b, func() *core.Planner {
+		p := core.NewPlanner()
+		p.Cache = cache
+		return p
+	})
+}
+
+func benchFreqSweepPath(b *testing.B, mkPlanner func() *core.Planner) {
+	b.Helper()
+	var feasible int
+	for i := 0; i < b.N; i++ {
+		p := mkPlanner()
+		plans, err := p.MaxFrequencySweep(power.LowPower, sweepBenchDepths, material.Coolants())
+		if err != nil {
+			b.Fatal(err)
+		}
+		feasible = 0
+		for _, row := range plans {
+			for _, pl := range row {
+				if pl.Feasible {
+					feasible++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(feasible), "feasible-cells")
+}
+
 // --- Substrate performance benchmarks ---
 
 func BenchmarkThermalSolve4Chip(b *testing.B) {

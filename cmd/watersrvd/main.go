@@ -12,8 +12,9 @@
 //
 //	POST   /v1/plan            synchronous plan request (api.PlanRequest body)
 //	POST   /v1/cosim           synchronous cosim request (api.CosimRequest body)
-//	POST   /v1/jobs            async submit ({"plan": {...}} or {"cosim": {...}})
-//	GET    /v1/jobs/{id}       job status
+//	POST   /v1/sweep           synchronous batched sweep (api.SweepRequest body)
+//	POST   /v1/jobs            async submit ({"plan": {...}}, {"cosim": {...}} or {"sweep": {...}})
+//	GET    /v1/jobs/{id}       job status (sweep jobs carry per-cell progress)
 //	GET    /v1/jobs/{id}/result job result (202 while pending)
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/metrics         engine metrics as JSON
@@ -25,6 +26,11 @@
 // client can poll /v1/jobs/{id} — the job keeps running. SIGINT and
 // SIGTERM stop the listener and drain in-flight jobs for up to
 // -drain-timeout before exit.
+//
+// Every error response carries the JSON envelope
+// {"error": {"code": "...", "message": "..."}} with a stable
+// machine-readable code (see the errCode* constants); clients switch
+// on the code, not the message text.
 package main
 
 import (
@@ -70,6 +76,9 @@ func newHandler(e *service.Engine, syncTimeout time.Duration) http.Handler {
 	mux.HandleFunc("POST /v1/cosim", func(w http.ResponseWriter, r *http.Request) {
 		s.sync(w, r, &api.CosimRequest{})
 	})
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		s.sync(w, r, &api.SweepRequest{})
+	})
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
@@ -86,21 +95,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// Stable machine-readable error codes of the JSON error envelope.
+// These are API surface: clients dispatch on them, so changing one is
+// a breaking change.
+const (
+	errCodeBadRequest      = "bad_request"      // malformed body or envelope
+	errCodeInvalidArgument = "invalid_argument" // well-formed but failed validation
+	errCodeQueueFull       = "queue_full"       // job queue at capacity, retry later
+	errCodeUnavailable     = "unavailable"      // engine draining or shut down
+	errCodeNotFound        = "not_found"        // unknown job ID
+	errCodeCanceled        = "canceled"         // job was cancelled before finishing
+	errCodeInternal        = "internal"         // simulation failed
+)
+
+// errorDetail is the inner object of the error envelope.
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response wears:
+// {"error": {"code": "...", "message": "..."}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorDetail `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
-// submitStatus maps a Submit failure onto an HTTP status.
-func submitStatus(err error) int {
+// submitError maps a Submit failure onto an HTTP status and error
+// code. Submit fails on validation (the request is wrong) or on
+// capacity (the service is busy or draining); the code tells the
+// client which retry policy applies.
+func submitError(err error) (int, string) {
 	switch {
-	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrClosed):
-		return http.StatusServiceUnavailable
+	case errors.Is(err, service.ErrQueueFull):
+		return http.StatusServiceUnavailable, errCodeQueueFull
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable, errCodeUnavailable
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, errCodeInvalidArgument
 	}
 }
 
@@ -127,12 +162,13 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 // client can poll the async endpoints.
 func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 	if err := decodeBody(r, req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
 		return
 	}
 	in, err := s.engine.Submit(req)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		status, code := submitError(err)
+		writeError(w, status, code, err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.syncTimeout)
@@ -142,7 +178,7 @@ func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 		// Timeout or client disconnect: hand back the job handle.
 		st, stErr := s.engine.Status(in.ID)
 		if stErr != nil {
-			writeError(w, http.StatusInternalServerError, stErr)
+			writeError(w, http.StatusInternalServerError, errCodeInternal, stErr)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
@@ -152,26 +188,27 @@ func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 	case service.StateDone:
 		writeJSON(w, http.StatusOK, got.Result)
 	case service.StateCanceled:
-		writeError(w, http.StatusConflict, fmt.Errorf("job %s was cancelled", got.ID))
+		writeError(w, http.StatusConflict, errCodeCanceled, fmt.Errorf("job %s was cancelled", got.ID))
 	default:
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
+		writeError(w, http.StatusInternalServerError, errCodeInternal, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
 	}
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	var env api.Envelope
 	if err := decodeBody(r, &env); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
 		return
 	}
 	req, err := env.Request()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
 		return
 	}
 	in, err := s.engine.Submit(req)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		status, code := submitError(err)
+		writeError(w, status, code, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -184,7 +221,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 func (s *server) status(w http.ResponseWriter, r *http.Request) {
 	in, err := s.engine.Status(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, errCodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, in)
@@ -194,11 +231,11 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	in, err := s.engine.Result(r.PathValue("id"))
 	switch {
 	case errors.Is(err, service.ErrUnknownJob):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, errCodeNotFound, err)
 	case errors.Is(err, service.ErrNotDone):
 		writeJSON(w, http.StatusAccepted, in)
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, errCodeInternal, err)
 	default:
 		writeJSON(w, http.StatusOK, in)
 	}
@@ -207,7 +244,7 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 	in, err := s.engine.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, errCodeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, in)

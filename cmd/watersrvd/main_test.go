@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +13,7 @@ import (
 
 	"waterimm/internal/api"
 	"waterimm/internal/service"
+	"waterimm/pkg/client"
 )
 
 func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Engine) {
@@ -26,10 +27,25 @@ func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service
 	return ts, e
 }
 
+func newTestClient(t *testing.T, ts *httptest.Server) *client.Client {
+	t.Helper()
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PollInterval = 5 * time.Millisecond
+	c.RetryBackoff = 5 * time.Millisecond
+	return c
+}
+
+var fastPlan = &api.PlanRequest{Chip: "lp", Chips: 1, GridNX: 8, GridNY: 8}
+
 const fastPlanBody = `{"chip": "lp", "chips": 1, "grid_nx": 8, "grid_ny": 8}`
 
-// slowPlanBody must outlive the test's cancel round-trips.
-const slowPlanBody = `{"chip": "lp", "chips": 16, "grid_nx": 64, "grid_ny": 64, "converge_leakage": true}`
+// slowPlan must outlive the test's cancel round-trips.
+var slowPlan = &api.PlanRequest{
+	Chip: "lp", Chips: 16, GridNX: 64, GridNY: 64, ConvergeLeakage: true,
+}
 
 func post(t *testing.T, url, body string) (*http.Response, []byte) {
 	t.Helper()
@@ -65,13 +81,10 @@ func TestHealthz(t *testing.T) {
 
 func TestSyncPlanEndToEnd(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{})
-	resp, body := post(t, ts.URL+"/v1/plan", fastPlanBody)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("sync plan: %d %s", resp.StatusCode, body)
-	}
-	var plan api.PlanResponse
-	if err := json.Unmarshal(body, &plan); err != nil {
-		t.Fatalf("decode: %v in %s", err, body)
+	c := newTestClient(t, ts)
+	plan, err := c.Plan(context.Background(), fastPlan)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if !plan.Feasible || plan.FrequencyGHz <= 0 || plan.PeakC > 80 {
 		t.Fatalf("implausible plan: %+v", plan)
@@ -80,17 +93,75 @@ func TestSyncPlanEndToEnd(t *testing.T) {
 
 func TestSyncCosimEndToEnd(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{})
-	resp, body := post(t, ts.URL+"/v1/cosim",
-		`{"benchmark": "ep", "chips": 1, "grid_nx": 8, "grid_ny": 8, "scale": 0.1, "max_samples": 8}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("sync cosim: %d %s", resp.StatusCode, body)
-	}
-	var cs api.CosimResponse
-	if err := json.Unmarshal(body, &cs); err != nil {
+	c := newTestClient(t, ts)
+	cs, err := c.Cosim(context.Background(), &api.CosimRequest{
+		Benchmark: "ep", Chips: 1, GridNX: 8, GridNY: 8, Scale: 0.1, MaxSamples: 8,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if cs.Seconds <= 0 || cs.Intervals == 0 || len(cs.Series) > 8 {
 		t.Fatalf("implausible cosim: %+v", cs)
+	}
+}
+
+// TestSyncSweepEndToEnd is the acceptance path of the batch API: one
+// request expands to the cartesian product, every cell carries the
+// same payload a standalone /v1/plan request would, and the cells
+// come back in canonical order.
+func TestSyncSweepEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	c := newTestClient(t, ts)
+	sweep, err := c.Sweep(context.Background(), &api.SweepRequest{
+		Chips:    []string{"lp"},
+		Depths:   []int{1, 2},
+		Coolants: []string{"air", "water"},
+		GridNX:   8, GridNY: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.TotalCells != 4 || len(sweep.Cells) != 4 {
+		t.Fatalf("want 4 cells, got total %d, len %d", sweep.TotalCells, len(sweep.Cells))
+	}
+	for i, cell := range sweep.Cells {
+		if cell.Plan == nil || cell.Key == "" {
+			t.Fatalf("cell %d incomplete: %+v", i, cell)
+		}
+	}
+	// Canonical order: depths major over coolants, coolants sorted.
+	if sweep.Cells[0].Chips != 1 || sweep.Cells[0].Coolant != "air" ||
+		sweep.Cells[1].Coolant != "water" || sweep.Cells[2].Chips != 2 {
+		t.Fatalf("cells out of canonical order: %+v", sweep.Cells)
+	}
+	// Water cools better than air: at equal depth the water cell must
+	// admit at least the air cell's frequency.
+	if sweep.Cells[1].Plan.FrequencyGHz < sweep.Cells[0].Plan.FrequencyGHz {
+		t.Fatalf("water slower than air: %+v vs %+v", sweep.Cells[1].Plan, sweep.Cells[0].Plan)
+	}
+
+	// A sweep cell and a standalone plan request share cache identity.
+	plan, err := c.Plan(context.Background(), &api.PlanRequest{
+		Chip: "lp", Chips: 1, Coolant: "water", GridNX: 8, GridNY: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(sweep.Cells[1].Plan)
+	got, _ := json.Marshal(plan)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("standalone plan diverges from sweep cell: %s vs %s", got, want)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits uint64
+	if err := json.Unmarshal(m["cache_hits"], &hits); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatal("standalone plan after sweep was not a cache hit")
 	}
 }
 
@@ -124,81 +195,102 @@ func TestRepeatRequestCached(t *testing.T) {
 
 func TestAsyncJobLifecycle(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{})
-	resp, body := post(t, ts.URL+"/v1/jobs", `{"plan": `+fastPlanBody+`}`)
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: %d %s", resp.StatusCode, body)
-	}
-	var in service.JobInfo
-	if err := json.Unmarshal(body, &in); err != nil {
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+
+	in, err := c.Submit(ctx, fastPlan)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if in.ID == "" || in.State != service.StateQueued {
+	if in.ID == "" || in.State != "queued" {
 		t.Fatalf("submit snapshot: %+v", in)
 	}
 
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		resp, body = get(t, ts.URL+"/v1/jobs/"+in.ID)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("status: %d %s", resp.StatusCode, body)
-		}
-		var st service.JobInfo
-		if err := json.Unmarshal(body, &st); err != nil {
-			t.Fatal(err)
-		}
-		if st.State.Terminal() {
-			if st.State != service.StateDone {
-				t.Fatalf("job ended %s: %s", st.State, st.Error)
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("job never finished")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-
-	resp, body = get(t, ts.URL+"/v1/jobs/"+in.ID+"/result")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("result: %d %s", resp.StatusCode, body)
-	}
-	var got struct {
-		Result api.PlanResponse `json:"result"`
-	}
-	if err := json.Unmarshal(body, &got); err != nil {
+	ctxWait, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	got, err := c.Wait(ctxWait, in.ID)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Result.Feasible {
-		t.Fatalf("result payload: %s", body)
+	if got.State != "done" {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
 	}
-
-	// A second identical async submit is a cache hit: 200, done.
-	resp, body = post(t, ts.URL+"/v1/jobs", `{"plan": `+fastPlanBody+`}`)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cached submit: %d %s", resp.StatusCode, body)
-	}
-	var hit service.JobInfo
-	if err := json.Unmarshal(body, &hit); err != nil {
+	var plan api.PlanResponse
+	if err := json.Unmarshal(got.Result, &plan); err != nil {
 		t.Fatal(err)
 	}
-	if !hit.CacheHit || hit.State != service.StateDone {
+	if !plan.Feasible {
+		t.Fatalf("result payload: %s", got.Result)
+	}
+
+	// A second identical async submit is a cache hit: terminal at once.
+	hit, err := c.Submit(ctx, fastPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || hit.State != "done" {
 		t.Fatalf("cached submit snapshot: %+v", hit)
+	}
+}
+
+// TestSweepJobProgress submits a sweep asynchronously and checks that
+// the job snapshot reports per-cell progress while running and a
+// complete count when done.
+func TestSweepJobProgress(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+
+	in, err := c.Submit(ctx, &api.SweepRequest{
+		Chips:    []string{"lp"},
+		Depths:   []int{1, 2, 3},
+		Coolants: []string{"water"},
+		GridNX:   8, GridNY: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Progress == nil || in.Progress.TotalCells != 3 {
+		t.Fatalf("submit snapshot progress: %+v", in.Progress)
+	}
+
+	ctxWait, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	got, err := c.Wait(ctxWait, in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "done" {
+		t.Fatalf("sweep ended %s: %s", got.State, got.Error)
+	}
+	if got.Progress == nil || got.Progress.DoneCells != 3 {
+		t.Fatalf("final progress: %+v", got.Progress)
+	}
+	var sweep api.SweepResponse
+	if err := json.Unmarshal(got.Result, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Cells) != 3 {
+		t.Fatalf("sweep result: %+v", sweep)
 	}
 }
 
 func TestResultWhilePending(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{Workers: 1})
-	_, blocker := post(t, ts.URL+"/v1/jobs", `{"plan": `+slowPlanBody+`}`)
-	var b service.JobInfo
-	if err := json.Unmarshal(blocker, &b); err != nil {
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+	blocker, err := c.Submit(ctx, slowPlan)
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp, body := get(t, ts.URL+"/v1/jobs/"+b.ID+"/result")
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("pending result: %d %s", resp.StatusCode, body)
+	pending, err := c.Result(ctx, blocker.ID)
+	if err != nil {
+		t.Fatalf("pending result: %v", err)
 	}
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
-	if _, err := http.DefaultClient.Do(req); err != nil {
+	if pending.Terminal() || pending.Result != nil {
+		t.Fatalf("pending snapshot: %+v", pending)
+	}
+	if _, err := c.Cancel(ctx, blocker.ID); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -207,10 +299,11 @@ func TestResultWhilePending(t *testing.T) {
 // job must stop the underlying solver promptly via its context.
 func TestCancelStopsSolver(t *testing.T) {
 	ts, e := newTestServer(t, service.Config{})
-	_, body := post(t, ts.URL+"/v1/jobs", `{"plan": `+slowPlanBody+`}`)
-	var in service.JobInfo
-	if err := json.Unmarshal(body, &in); err != nil {
-		t.Fatalf("decode %s: %v", body, err)
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+	in, err := c.Submit(ctx, slowPlan)
+	if err != nil {
+		t.Fatal(err)
 	}
 
 	// Wait until it is actually running so the cancel exercises the
@@ -234,19 +327,13 @@ func TestCancelStopsSolver(t *testing.T) {
 	}
 
 	start := time.Now()
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+in.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("cancel: %d", resp.StatusCode)
+	if _, err := c.Cancel(ctx, in.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	got, err := e.Wait(ctx, in.ID)
+	got, err := e.Wait(waitCtx, in.ID)
 	if err != nil {
 		t.Fatalf("solver did not stop after cancel: %v", err)
 	}
@@ -258,32 +345,54 @@ func TestCancelStopsSolver(t *testing.T) {
 	}
 }
 
-func TestBadRequests(t *testing.T) {
+// TestErrorEnvelope pins the wire shape of failures: every error
+// response is {"error": {"code", "message"}} with a stable code.
+func TestErrorEnvelope(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{})
 	cases := []struct {
 		url, body string
-		want      int
+		status    int
+		code      string
 	}{
-		{"/v1/plan", `{not json`, http.StatusBadRequest},
-		{"/v1/plan", `{"coolant": "lava"}`, http.StatusBadRequest},
-		{"/v1/plan", `{"unknown_field": 1}`, http.StatusBadRequest},
-		{"/v1/jobs", `{}`, http.StatusBadRequest},
-		{"/v1/jobs", `{"plan": {}, "cosim": {}}`, http.StatusBadRequest},
-		{"/v1/cosim", `{"ghz": 3.21}`, http.StatusBadRequest},
+		{"/v1/plan", `{not json`, http.StatusBadRequest, "bad_request"},
+		{"/v1/plan", `{"unknown_field": 1}`, http.StatusBadRequest, "bad_request"},
+		{"/v1/plan", `{"coolant": "lava"}`, http.StatusBadRequest, "invalid_argument"},
+		{"/v1/plan", `{"chips": 32, "grid_nx": 128, "grid_ny": 128}`, http.StatusBadRequest, "invalid_argument"},
+		{"/v1/sweep", `{"depths": [0]}`, http.StatusBadRequest, "invalid_argument"},
+		{"/v1/jobs", `{}`, http.StatusBadRequest, "bad_request"},
+		{"/v1/jobs", `{"plan": {}, "cosim": {}}`, http.StatusBadRequest, "bad_request"},
+		{"/v1/cosim", `{"ghz": 3.21}`, http.StatusBadRequest, "invalid_argument"},
 	}
-	for _, c := range cases {
-		resp, body := post(t, ts.URL+c.url, c.body)
-		if resp.StatusCode != c.want {
-			t.Errorf("POST %s %s: %d (want %d): %s", c.url, c.body, resp.StatusCode, c.want, body)
+	for _, tc := range cases {
+		resp, body := post(t, ts.URL+tc.url, tc.body)
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("POST %s %s: body %s is not an error envelope: %v", tc.url, tc.body, body, err)
+			continue
+		}
+		if resp.StatusCode != tc.status || e.Error.Code != tc.code || e.Error.Message == "" {
+			t.Errorf("POST %s %s: %d %q (want %d %q): %s",
+				tc.url, tc.body, resp.StatusCode, e.Error.Code, tc.status, tc.code, body)
 		}
 	}
-	resp, _ := get(t, ts.URL+"/v1/jobs/nope")
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job status: %d", resp.StatusCode)
+	for _, url := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result"} {
+		resp, body := get(t, ts.URL+url)
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("GET %s: body %s is not an error envelope: %v", url, body, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound || e.Error.Code != "not_found" {
+			t.Errorf("GET %s: %d %q, want 404 not_found", url, resp.StatusCode, e.Error.Code)
+		}
 	}
-	resp, _ = get(t, ts.URL+"/v1/jobs/nope/result")
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown job result: %d", resp.StatusCode)
+
+	// The typed client surfaces the same code.
+	c := newTestClient(t, ts)
+	_, err := c.Plan(context.Background(), &api.PlanRequest{Coolant: "lava"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "invalid_argument" {
+		t.Fatalf("client error: %v", err)
 	}
 }
 
@@ -301,17 +410,18 @@ func TestExpvarExposed(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	e := service.New(service.Config{Workers: 2})
 	ts := httptest.NewServer(newHandler(e, time.Minute))
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ids := make([]string, 0, 4)
-	for c := 1; c <= 4; c++ {
-		body := fmt.Sprintf(`{"plan": {"chip": "lp", "chips": %d, "grid_nx": 8, "grid_ny": 8}}`, c)
-		resp, b := post(t, ts.URL+"/v1/jobs", body)
-		if resp.StatusCode != http.StatusAccepted {
-			t.Fatalf("submit %d: %d %s", c, resp.StatusCode, b)
-		}
-		var in service.JobInfo
-		if err := json.Unmarshal(b, &in); err != nil {
-			t.Fatal(err)
+	for n := 1; n <= 4; n++ {
+		in, err := c.Submit(context.Background(), &api.PlanRequest{
+			Chip: "lp", Chips: n, GridNX: 8, GridNY: 8,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", n, err)
 		}
 		ids = append(ids, in.ID)
 	}

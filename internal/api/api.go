@@ -1,7 +1,8 @@
 // Package api defines the canonical JSON schema of the simulation
-// service: request and response types for the two core workloads —
-// a *plan* request (max-frequency search via core.Planner) and a
+// service: request and response types for the three workloads —
+// a *plan* request (max-frequency search via core.Planner), a
 // *cosim* request (performance↔thermal co-simulation via cosim.Run)
+// and a *sweep* request (a batched cartesian product of plan cells)
 // — plus validation and a deterministic canonicalization that hashes
 // every request to a stable SHA-256 cache key.
 //
@@ -34,11 +35,14 @@ import (
 // SchemaVersion tags the canonical encoding; bump it whenever a
 // field is added, renamed, or a default changes, so stale cache
 // entries from older schema generations can never be returned.
-const SchemaVersion = 1
+//
+// v2: added the sweep request kind and the grid node budget
+// (gridNodeBudget) that plan and cosim validation now enforce.
+const SchemaVersion = 2
 
 // Request is the common surface of the service's request kinds.
 type Request interface {
-	// Kind returns "plan" or "cosim".
+	// Kind returns "plan", "cosim" or "sweep".
 	Kind() string
 	// Normalize fills defaults and resolves aliases in place.
 	Normalize()
@@ -122,6 +126,9 @@ func (r *PlanRequest) Validate() error {
 		return fmt.Errorf("api: plan: threshold_c must be in (25, 200], got %g", r.ThresholdC)
 	}
 	if err := validGrid(r.GridNX, r.GridNY); err != nil {
+		return fmt.Errorf("api: plan: %w", err)
+	}
+	if err := validGridLoad(r.GridNX, r.GridNY, r.Chips); err != nil {
 		return fmt.Errorf("api: plan: %w", err)
 	}
 	return nil
@@ -287,6 +294,9 @@ func (r *CosimRequest) Validate() error {
 	if err := validGrid(r.GridNX, r.GridNY); err != nil {
 		return fmt.Errorf("api: cosim: %w", err)
 	}
+	if err := validGridLoad(r.GridNX, r.GridNY, r.Chips); err != nil {
+		return fmt.Errorf("api: cosim: %w", err)
+	}
 	if r.MaxSamples < 1 || r.MaxSamples > 100_000 {
 		return fmt.Errorf("api: cosim: max_samples must be in [1, 100000], got %d", r.MaxSamples)
 	}
@@ -332,29 +342,55 @@ type CosimResponse struct {
 }
 
 // Envelope carries exactly one request in a JSON body; the set field
-// names the kind: {"plan": {...}} or {"cosim": {...}}.
+// names the kind: {"plan": {...}}, {"cosim": {...}} or
+// {"sweep": {...}}.
 type Envelope struct {
 	Plan  *PlanRequest  `json:"plan,omitempty"`
 	Cosim *CosimRequest `json:"cosim,omitempty"`
+	Sweep *SweepRequest `json:"sweep,omitempty"`
 }
 
 // Request unwraps the envelope, erroring unless exactly one kind is
 // present.
 func (e *Envelope) Request() (Request, error) {
-	switch {
-	case e.Plan != nil && e.Cosim != nil:
-		return nil, fmt.Errorf("api: envelope carries both a plan and a cosim request")
-	case e.Plan != nil:
-		return e.Plan, nil
-	case e.Cosim != nil:
-		return e.Cosim, nil
+	var reqs []Request
+	if e.Plan != nil {
+		reqs = append(reqs, e.Plan)
 	}
-	return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}} or {"cosim": {...}})`)
+	if e.Cosim != nil {
+		reqs = append(reqs, e.Cosim)
+	}
+	if e.Sweep != nil {
+		reqs = append(reqs, e.Sweep)
+	}
+	switch len(reqs) {
+	case 1:
+		return reqs[0], nil
+	case 0:
+		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}} or {"sweep": {...}})`)
+	}
+	return nil, fmt.Errorf("api: envelope carries %d requests, want exactly one", len(reqs))
 }
 
 func validGrid(nx, ny int) error {
 	if nx < 4 || nx > 128 || ny < 4 || ny > 128 {
 		return fmt.Errorf("grid %dx%d out of range [4, 128]", nx, ny)
+	}
+	return nil
+}
+
+// gridNodeBudget caps nx·ny·chips. The per-axis grid bounds alone do
+// not stop a request from assembling an enormous sparse system (a
+// 128×128 grid under a 32-chip stack is ~2 M nodes, hundreds of MB of
+// CSR matrix and solver vectors per concurrent job); the budget keeps
+// the largest admissible system to ~1/4 of that, which one worker can
+// solve without risking the service's memory.
+const gridNodeBudget = 128 * 128 * 8
+
+func validGridLoad(nx, ny, chips int) error {
+	if nx*ny*chips > gridNodeBudget {
+		return fmt.Errorf("grid %dx%d with %d chips exceeds the %d-cell-layer budget (reduce the grid or the stack depth)",
+			nx, ny, chips, gridNodeBudget)
 	}
 	return nil
 }

@@ -10,11 +10,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 
-	"waterimm/internal/floorplan"
 	"waterimm/internal/material"
-	"waterimm/internal/mcpat"
 	"waterimm/internal/power"
 	"waterimm/internal/stack"
 	"waterimm/internal/thermal"
@@ -44,6 +41,16 @@ type Planner struct {
 	// (and less conservative) than the worst-case default; an
 	// ablation knob for the methodology discussion in Section 4.3.
 	ConvergeLeakage bool
+	// Cache, when non-nil, pools assembled thermal systems across
+	// sessions (see thermal.SystemCache), so repeated solves of the
+	// same geometry — sweep cells, repeated service requests — skip
+	// matrix assembly. A nil cache still reuses the assembly within
+	// each frequency search; it just rebuilds per search.
+	Cache *thermal.SystemCache
+	// ColdStart disables cross-step system reuse and warm-started CG,
+	// re-assembling the model for every solve — the pre-batch
+	// baseline, kept for benchmarks and equivalence tests.
+	ColdStart bool
 }
 
 // NewPlanner returns a Planner with Table 2 parameters and the
@@ -82,56 +89,15 @@ func (p *Planner) Solve(spec StackSpec) (*thermal.Result, power.Step, error) {
 // SolveCtx is Solve with cooperative cancellation: the context is
 // threaded into the conjugate-gradient solver, so a cancelled request
 // (service timeout, client disconnect) abandons the solve promptly.
+// One-shot solves pay one assembly each; callers solving the same
+// geometry repeatedly should hold a Session (or set Cache) instead.
 func (p *Planner) SolveCtx(ctx context.Context, spec StackSpec) (*thermal.Result, power.Step, error) {
-	if spec.Chips < 1 {
-		return nil, power.Step{}, fmt.Errorf("core: need at least one chip, got %d", spec.Chips)
-	}
-	step, err := spec.Chip.StepAt(spec.FHz)
+	s, err := p.NewSession(spec.Chip, spec.Chips, spec.Coolant)
 	if err != nil {
 		return nil, power.Step{}, err
 	}
-	solveAt := func(leakTemp float64) (*thermal.Result, error) {
-		base, err := mcpat.ChipAt(spec.Chip, step, leakTemp)
-		if err != nil {
-			return nil, err
-		}
-		flipped := base.Rotate180()
-		dies := make([]*floorplan.Floorplan, spec.Chips)
-		for i := range dies {
-			if p.Flip && i%2 == 1 {
-				dies[i] = flipped
-			} else {
-				dies[i] = base
-			}
-		}
-		model, err := stack.Build(stack.Config{Params: p.Params, Coolant: spec.Coolant, Dies: dies})
-		if err != nil {
-			return nil, err
-		}
-		return thermal.Solve(model, thermal.SolveOptions{Ctx: ctx})
-	}
-	if !p.ConvergeLeakage {
-		res, err := solveAt(p.leakTemp(spec.Chip))
-		return res, step, err
-	}
-	// Fixed point: leakage evaluated at the observed peak. The
-	// leakage coefficient (~1 %/°C) keeps the map a contraction for
-	// any stack the threshold would accept, so a handful of damped
-	// iterations converge.
-	leakTemp := spec.Chip.RefTempC
-	var res *thermal.Result
-	for iter := 0; iter < 8; iter++ {
-		res, err = solveAt(leakTemp)
-		if err != nil {
-			return nil, power.Step{}, err
-		}
-		peak := res.Max()
-		if math.Abs(peak-leakTemp) < 0.5 {
-			return res, step, nil
-		}
-		leakTemp = (leakTemp + peak) / 2
-	}
-	return res, step, nil
+	defer s.Close()
+	return s.Solve(ctx, spec.FHz)
 }
 
 // PeakAt returns the peak junction temperature for a spec.
@@ -184,33 +150,54 @@ func (p *Planner) MaxFrequency(chip power.Model, chips int, coolant material.Coo
 // checked before every thermal solve of the binary search and inside
 // the solver's iteration loop.
 func (p *Planner) MaxFrequencyCtx(ctx context.Context, chip power.Model, chips int, coolant material.Coolant) (Plan, error) {
+	plan, _, err := p.MaxFrequencyResultCtx(ctx, chip, chips, coolant)
+	return plan, err
+}
+
+// MaxFrequencyResultCtx is MaxFrequencyCtx returning, for feasible
+// plans, the full thermal field at the chosen step (for per-die
+// breakdowns, map rendering) without an extra cold solve: the whole
+// search runs in one Session, so the field is one warm re-solve away.
+// The Result is nil for infeasible plans.
+func (p *Planner) MaxFrequencyResultCtx(ctx context.Context, chip power.Model, chips int, coolant material.Coolant) (Plan, *thermal.Result, error) {
 	steps := chip.Steps()
 	if len(steps) == 0 {
-		return Plan{}, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
+		return Plan{}, nil, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
 	}
 	plan := Plan{Chip: chip, Chips: chips, Coolant: coolant}
+	s, err := p.NewSession(chip, chips, coolant)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	defer s.Close()
+	// The search probes many VFS steps of one geometry: build the
+	// superposition basis up front so every probe is a near-free
+	// verification solve.
+	if err := s.Prime(ctx); err != nil {
+		return Plan{}, nil, err
+	}
 
 	peakAt := func(i int) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, fmt.Errorf("core: frequency search cancelled: %w", err)
 		}
-		return p.PeakAtCtx(ctx, StackSpec{Chip: chip, Chips: chips, Coolant: coolant, FHz: steps[i].FHz})
+		return s.Peak(ctx, steps[i].FHz)
 	}
 
 	// Infeasible if the slowest step already violates the threshold.
 	peak, err := peakAt(0)
 	if err != nil {
-		return Plan{}, err
+		return Plan{}, nil, err
 	}
 	if peak > p.ThresholdC {
-		return plan, nil
+		return plan, nil, nil
 	}
 	// lo is always admissible, hi (when in range) is not.
 	lo, hi := 0, len(steps)
 	loPeak := peak
 	if hi > 1 {
 		if peak, err = peakAt(len(steps) - 1); err != nil {
-			return Plan{}, err
+			return Plan{}, nil, err
 		}
 		if peak <= p.ThresholdC {
 			lo, loPeak = len(steps)-1, peak
@@ -222,7 +209,7 @@ func (p *Planner) MaxFrequencyCtx(ctx context.Context, chip power.Model, chips i
 		mid := (lo + hi) / 2
 		peak, err := peakAt(mid)
 		if err != nil {
-			return Plan{}, err
+			return Plan{}, nil, err
 		}
 		if peak <= p.ThresholdC {
 			lo, loPeak = mid, peak
@@ -233,7 +220,14 @@ func (p *Planner) MaxFrequencyCtx(ctx context.Context, chip power.Model, chips i
 	plan.Feasible = true
 	plan.Step = steps[lo]
 	plan.PeakC = loPeak
-	return plan, nil
+	// One warm re-solve at the winner for the full field (the search
+	// only retained peaks; the previous solve was usually a neighbour
+	// step, so CG converges in a handful of iterations).
+	res, _, err := s.Solve(ctx, steps[lo].FHz)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	return plan, res, nil
 }
 
 // MaxFrequencySweep runs MaxFrequency for chip counts 1..maxChips and

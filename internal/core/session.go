@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/mcpat"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+
+	"waterimm/internal/material"
+)
+
+// Session is a reusable solve context for one stack geometry: the
+// conductance matrix depends only on the geometry, coolant and grid —
+// not on the power vector — so a session assembles the thermal system
+// once and re-solves it for every VFS step of a frequency search,
+// seeding each conjugate-gradient solve with the previous step's
+// temperature field. This is what makes sweeps batch-shaped: the
+// planner's binary search costs one assembly instead of one per
+// solve, and warm starts cut the CG iteration count on top.
+//
+// Sessions acquire their assembled system from the planner's
+// SystemCache when one is configured, so concurrent sweep cells that
+// share a geometry (same stack depth and coolant, different
+// thresholds) also share assembly work across jobs. A session is not
+// safe for concurrent use; Close returns the system to the cache.
+type Session struct {
+	p       *Planner
+	chip    power.Model
+	chips   int
+	coolant material.Coolant
+	key     string
+
+	sys     *thermal.System
+	model   *thermal.Model
+	base    *floorplan.Floorplan
+	flipped *floorplan.Floorplan
+
+	// guess carries the previous solve's field as the next warm start.
+	guess []float64
+	// basis, once built, makes further solves nearly free: see
+	// buildBasis. solves counts solveAt calls to trigger it lazily.
+	basis  *sessionBasis
+	solves int
+
+	closed bool
+}
+
+// sessionBasis exploits the linearity of both the thermal system and
+// the power model: mcpat assigns every unit dynamicW·shareDyn +
+// staticW·shareStatic, so the heat-source vector at ANY VFS step and
+// leakage temperature is base + a·(dynamic shape) + b·(static shape)
+// with scalars a, b — and since G·T = q is linear, so is the
+// temperature field. Three solves (zero-power base, one per shape)
+// therefore let every later solve start from a superposed guess whose
+// residual is already at the solver's tolerance; CG merely verifies it
+// against the cold-start target (SolveOptions.TolRef), keeping the
+// results exactly as converged as independent cold solves.
+type sessionBasis struct {
+	// refDyn/refStat are the shape magnitudes in watts (the top VFS
+	// step's, so combination coefficients stay ≤ ~1 and never amplify
+	// the basis fields' solver error).
+	refDyn, refStat float64
+	// base is the zero-die-power field (ambient plus lumped extras);
+	// dyn and stat are the delta fields of refDyn/refStat watts of
+	// pure-dynamic/pure-static power (nil when the chip has no such
+	// component). A step's field is base + (DynamicW/refDyn)·dyn +
+	// (StaticAt/refStat)·stat.
+	base, dyn, stat []float64
+}
+
+// sessionKey is the assembly-cache signature: everything the
+// conductance matrix depends on. Power assignment (VFS step, leakage
+// temperature, flip layout) deliberately stays out — those only move
+// the right-hand side.
+func (p *Planner) sessionKey(chip power.Model, chips int, coolant material.Coolant) string {
+	return fmt.Sprintf("v1|chip=%s|chips=%d|coolant=%+v|params=%+v", chip.Name, chips, coolant, p.Params)
+}
+
+// NewSession prepares a reusable solve context for the given stack
+// configuration. The planner's Params, Flip and leakage settings are
+// captured by reference: they must not change while the session is
+// live. Callers must Close the session to return the assembled system
+// to the planner's cache.
+func (p *Planner) NewSession(chip power.Model, chips int, coolant material.Coolant) (*Session, error) {
+	if chips < 1 {
+		return nil, fmt.Errorf("core: need at least one chip, got %d", chips)
+	}
+	s := &Session{
+		p: p, chip: chip, chips: chips, coolant: coolant,
+		key: p.sessionKey(chip, chips, coolant),
+	}
+	if p.ColdStart {
+		// Diagnostic baseline: every solve rebuilds from scratch.
+		return s, nil
+	}
+	base, err := floorplan.ForModel(chip.Name)
+	if err != nil {
+		return nil, err
+	}
+	s.base = base
+	if p.Flip {
+		s.flipped = base.Rotate180()
+	}
+	sys, err := p.Cache.Acquire(s.key, func() (*thermal.System, error) {
+		dies := make([]*floorplan.Floorplan, chips)
+		for i := range dies {
+			if p.Flip && i%2 == 1 {
+				dies[i] = s.flipped
+			} else {
+				dies[i] = base
+			}
+		}
+		model, err := stack.Build(stack.Config{Params: p.Params, Coolant: coolant, Dies: dies})
+		if err != nil {
+			return nil, err
+		}
+		return thermal.Assemble(model)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sys = sys
+	s.model = sys.Model()
+	return s, nil
+}
+
+// Close returns the assembled system to the planner's cache. The
+// session must not be used afterwards.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.sys != nil {
+		s.p.Cache.Release(s.key, s.sys)
+		s.sys, s.model = nil, nil
+	}
+}
+
+// setPower assigns the given chip-wide dynamic/static power split to
+// every die layer of the stack model and re-folds the right-hand side.
+func (s *Session) setPower(dynamicW, staticW float64) error {
+	if err := mcpat.AssignParts(s.base, s.chip, dynamicW, staticW); err != nil {
+		return err
+	}
+	g := s.model.Grid
+	mBase := s.base.PowerMap(g.NX, g.NY, g.W, g.H)
+	var mFlip []float64
+	if s.p.Flip {
+		if err := mcpat.AssignParts(s.flipped, s.chip, dynamicW, staticW); err != nil {
+			return err
+		}
+		mFlip = s.flipped.PowerMap(g.NX, g.NY, g.W, g.H)
+	}
+	for i := 0; i < s.chips; i++ {
+		dst := s.model.Layers[stack.DieLayer(i)].Power
+		if s.p.Flip && i%2 == 1 {
+			copy(dst, mFlip)
+		} else {
+			copy(dst, mBase)
+		}
+	}
+	return s.sys.UpdatePower()
+}
+
+// buildBasis runs the three basis solves of sessionBasis. The base
+// solve is nearly free (the uniform ambient field already solves the
+// zero-power problem up to the lumped extras), so a basis costs about
+// two extra solves — which the very next step evaluation pays back.
+func (s *Session) buildBasis(ctx context.Context) error {
+	steps := s.chip.Steps()
+	if len(steps) == 0 {
+		return fmt.Errorf("core: chip %s has an empty VFS table", s.chip.Name)
+	}
+	ref := steps[len(steps)-1]
+	b := &sessionBasis{
+		refDyn:  ref.DynamicW,
+		refStat: s.chip.StaticAt(ref, s.p.leakTemp(s.chip)),
+	}
+	// One absolute residual target for all three basis solves: the
+	// cold-start residual of the reference step's full power. Without
+	// it the near-trivial base solve (whose own initial residual is
+	// microscopic) would grind hundreds of iterations chasing a
+	// meaninglessly tight relative target.
+	if err := s.setPower(b.refDyn, b.refStat); err != nil {
+		return err
+	}
+	tolRef := s.sys.ColdStartResidual()
+	solve := func(dynW, statW float64, guess []float64) ([]float64, error) {
+		if err := s.setPower(dynW, statW); err != nil {
+			return nil, err
+		}
+		return s.sys.SolveSteady(thermal.SolveOptions{Ctx: ctx, Guess: guess, TolRef: tolRef})
+	}
+	base, err := solve(0, 0, nil)
+	if err != nil {
+		return err
+	}
+	b.base = base
+	if b.refDyn > 0 {
+		t, err := solve(b.refDyn, 0, base)
+		if err != nil {
+			return err
+		}
+		b.dyn = make([]float64, len(t))
+		for i := range t {
+			b.dyn[i] = t[i] - base[i]
+		}
+	}
+	if b.refStat > 0 {
+		t, err := solve(0, b.refStat, base)
+		if err != nil {
+			return err
+		}
+		b.stat = make([]float64, len(t))
+		for i := range t {
+			b.stat[i] = t[i] - base[i]
+		}
+	}
+	s.basis = b
+	return nil
+}
+
+// Prime eagerly builds the superposition basis, so every subsequent
+// solve of the session starts from a near-converged guess. Callers
+// that know they will solve many VFS steps (frequency searches,
+// sweeps) Prime once; one-shot callers skip it — the session then
+// builds the basis lazily on its second solve. Prime is a no-op in
+// ColdStart mode or when the basis already exists.
+func (s *Session) Prime(ctx context.Context) error {
+	if s.p.ColdStart || s.basis != nil {
+		return nil
+	}
+	return s.buildBasis(ctx)
+}
+
+// solveAt solves the session's stack with power assigned at the given
+// VFS step and leakage temperature. The returned Result shares the
+// session's model; its power maps are transient scratch state that
+// the next solve overwrites, while Grid and layer structure stay
+// valid for inspection.
+//
+// The first solve runs cold; from the second on, the session builds
+// its superposition basis and seeds CG with a near-exact field, so
+// the marginal cost of a frequency-search probe drops to a few
+// verification iterations. Every solve converges against the
+// cold-start residual target, so the fields match independent cold
+// solves within the solver tolerance.
+func (s *Session) solveAt(ctx context.Context, step power.Step, leakTemp float64) (*thermal.Result, error) {
+	if s.p.ColdStart {
+		return s.coldSolveAt(ctx, step, leakTemp)
+	}
+	staticW := s.chip.StaticAt(step, leakTemp)
+	s.solves++
+	if s.basis == nil && s.solves >= 2 {
+		if err := s.buildBasis(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.setPower(step.DynamicW, staticW); err != nil {
+		return nil, err
+	}
+	if b := s.basis; b != nil {
+		if s.guess == nil {
+			s.guess = make([]float64, len(b.base))
+		}
+		var a, c float64
+		if b.dyn != nil {
+			a = step.DynamicW / b.refDyn
+		}
+		if b.stat != nil {
+			c = staticW / b.refStat
+		}
+		for i := range s.guess {
+			g := b.base[i]
+			if b.dyn != nil {
+				g += a * b.dyn[i]
+			}
+			if b.stat != nil {
+				g += c * b.stat[i]
+			}
+			s.guess[i] = g
+		}
+	}
+	t, err := s.sys.SolveSteady(thermal.SolveOptions{
+		Ctx: ctx, Guess: s.guess, TolRef: s.sys.ColdStartResidual(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Keep a private copy as the next warm start: the caller owns the
+	// returned field and may mutate it.
+	if s.guess == nil {
+		s.guess = make([]float64, len(t))
+	}
+	copy(s.guess, t)
+	return &thermal.Result{Model: s.model, T: t}, nil
+}
+
+// coldSolveAt is the pre-batch baseline: rebuild the floorplan, the
+// stack model and the conductance matrix and cold-start CG, exactly
+// as N independent plan requests would. Kept behind Planner.ColdStart
+// for benchmarks and the equivalence tests.
+func (s *Session) coldSolveAt(ctx context.Context, step power.Step, leakTemp float64) (*thermal.Result, error) {
+	base, err := mcpat.ChipAt(s.chip, step, leakTemp)
+	if err != nil {
+		return nil, err
+	}
+	flipped := base.Rotate180()
+	dies := make([]*floorplan.Floorplan, s.chips)
+	for i := range dies {
+		if s.p.Flip && i%2 == 1 {
+			dies[i] = flipped
+		} else {
+			dies[i] = base
+		}
+	}
+	model, err := stack.Build(stack.Config{Params: s.p.Params, Coolant: s.coolant, Dies: dies})
+	if err != nil {
+		return nil, err
+	}
+	return thermal.Solve(model, thermal.SolveOptions{Ctx: ctx})
+}
+
+// Solve simulates the session's stack at the given frequency,
+// including the planner's leakage policy, and returns the thermal
+// field plus the VFS step that produced it.
+func (s *Session) Solve(ctx context.Context, fHz float64) (*thermal.Result, power.Step, error) {
+	step, err := s.chip.StepAt(fHz)
+	if err != nil {
+		return nil, power.Step{}, err
+	}
+	if !s.p.ConvergeLeakage {
+		res, err := s.solveAt(ctx, step, s.p.leakTemp(s.chip))
+		return res, step, err
+	}
+	// Fixed point: leakage evaluated at the observed peak. The
+	// leakage coefficient (~1 %/°C) keeps the map a contraction for
+	// any stack the threshold would accept, so a handful of damped
+	// iterations converge.
+	leakTemp := s.chip.RefTempC
+	var res *thermal.Result
+	for iter := 0; iter < 8; iter++ {
+		res, err = s.solveAt(ctx, step, leakTemp)
+		if err != nil {
+			return nil, power.Step{}, err
+		}
+		peak := res.Max()
+		if math.Abs(peak-leakTemp) < 0.5 {
+			return res, step, nil
+		}
+		leakTemp = (leakTemp + peak) / 2
+	}
+	return res, step, nil
+}
+
+// Peak returns the peak junction temperature at the given frequency.
+func (s *Session) Peak(ctx context.Context, fHz float64) (float64, error) {
+	res, _, err := s.Solve(ctx, fHz)
+	if err != nil {
+		return 0, err
+	}
+	return res.Max(), nil
+}

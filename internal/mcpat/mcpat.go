@@ -78,13 +78,23 @@ func SharesFor(name string) (Shares, error) {
 // model's component shares, mutating the unit powers in place. Within
 // a component class, power splits uniformly across the class's units.
 func Assign(fp *floorplan.Floorplan, m power.Model, s power.Step, tempC float64) error {
+	return AssignParts(fp, m, s.DynamicW, m.StaticAt(s, tempC))
+}
+
+// AssignParts distributes an arbitrary chip-wide dynamic and static
+// power total over the floorplan's units by the model's component
+// shares. Assign is AssignParts at a VFS step's operating point; the
+// separated form exists because the resulting unit powers are linear
+// in (dynamicW, staticW) with step-independent spatial shapes — which
+// lets a solve session superpose two pre-solved basis fields instead
+// of running a fresh conjugate-gradient solve per VFS step.
+func AssignParts(fp *floorplan.Floorplan, m power.Model, dynamicW, staticW float64) error {
 	shares, err := SharesFor(m.Name)
 	if err != nil {
 		return err
 	}
-	static := m.StaticAt(s, tempC)
 	for _, sh := range shares {
-		fp.SetKindPower(sh.Kind, s.DynamicW*sh.Dynamic+static*sh.Static)
+		fp.SetKindPower(sh.Kind, dynamicW*sh.Dynamic+staticW*sh.Static)
 	}
 	return nil
 }

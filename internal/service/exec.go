@@ -11,22 +11,24 @@ import (
 	"waterimm/internal/npb"
 	"waterimm/internal/power"
 	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
 )
 
 // execute dispatches a validated, normalized request to its solver.
 // The context is threaded into the solver loops, so cancelling it
-// abandons the simulation promptly.
-func execute(ctx context.Context, req api.Request) (any, error) {
+// abandons the simulation promptly. Sweep requests never reach here;
+// the engine orchestrates them in runSweep.
+func (e *Engine) execute(ctx context.Context, req api.Request) (any, error) {
 	switch r := req.(type) {
 	case *api.PlanRequest:
-		return runPlan(ctx, r)
+		return runPlan(ctx, r, e.sysCache)
 	case *api.CosimRequest:
 		return runCosim(ctx, r)
 	}
 	return nil, fmt.Errorf("service: unknown request kind %q", req.Kind())
 }
 
-func runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResponse, error) {
+func runPlan(ctx context.Context, r *api.PlanRequest, sysCache *thermal.SystemCache) (*api.PlanResponse, error) {
 	chip, err := power.ModelByName(r.Chip)
 	if err != nil {
 		return nil, err
@@ -40,8 +42,12 @@ func runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResponse, error)
 	p.Flip = r.Flip
 	p.ConvergeLeakage = r.ConvergeLeakage
 	p.Params.GridNX, p.Params.GridNY = r.GridNX, r.GridNY
+	// The engine-wide assembly cache: concurrent jobs over the same
+	// geometry (sweep cells differing only in threshold, repeated
+	// requests) share the assembled conductance system.
+	p.Cache = sysCache
 
-	plan, err := p.MaxFrequencyCtx(ctx, chip, r.Chips, coolant)
+	plan, res, err := p.MaxFrequencyResultCtx(ctx, chip, r.Chips, coolant)
 	if err != nil {
 		return nil, err
 	}
@@ -53,14 +59,8 @@ func runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResponse, error)
 	resp.VoltageV = plan.Step.V
 	resp.PeakC = plan.PeakC
 	resp.ChipPowerW = plan.Step.TotalW()
-	// One extra solve at the chosen step for the per-die breakdown
-	// (the search only retains the stack-wide peak).
-	res, _, err := p.SolveCtx(ctx, core.StackSpec{
-		Chip: chip, Chips: r.Chips, Coolant: coolant, FHz: plan.Step.FHz,
-	})
-	if err != nil {
-		return nil, err
-	}
+	// The search's session hands back the full field at the chosen
+	// step, so the per-die breakdown costs no extra solve.
 	resp.DiePeaksC = make([]float64, r.Chips)
 	for i := range resp.DiePeaksC {
 		resp.DiePeaksC[i] = res.LayerMax(stack.DieLayer(i))

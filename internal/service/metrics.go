@@ -3,6 +3,8 @@ package service
 import (
 	"sync"
 	"time"
+
+	"waterimm/internal/thermal"
 )
 
 // histBounds are the latency bucket upper bounds in seconds, a
@@ -118,8 +120,12 @@ type Snapshot struct {
 
 	Workers int `json:"workers"`
 
-	// LatencyS maps stage name ("queue", "run.plan", "run.cosim")
-	// to its histogram.
+	// Assembly reports the shared thermal-system pool (hits mean a
+	// planner job skipped matrix assembly entirely).
+	Assembly thermal.CacheStats `json:"assembly"`
+
+	// LatencyS maps stage name ("queue", "run.plan", "run.cosim",
+	// "run.sweep") to its histogram.
 	LatencyS map[string]*Histogram `json:"latency_s"`
 }
 

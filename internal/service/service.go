@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"waterimm/internal/api"
+	"waterimm/internal/thermal"
 )
 
 // Config sizes the engine. The zero value gets sensible defaults.
@@ -47,6 +48,11 @@ type Config struct {
 	// for status/result lookups before the oldest are forgotten.
 	// Default 4096.
 	MaxFinishedJobs int
+	// AssemblyCacheEntries bounds the pool of assembled thermal
+	// systems shared across planner jobs (thermal.SystemCache), so
+	// jobs that revisit a geometry — sweep cells, repeated plan
+	// requests — skip matrix assembly. Default 64.
+	AssemblyCacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
+	}
+	if c.AssemblyCacheEntries <= 0 {
+		c.AssemblyCacheEntries = 64
 	}
 	return c
 }
@@ -104,6 +113,9 @@ type JobInfo struct {
 	// that Submit carries it.
 	Deduped bool   `json:"deduped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Progress is the per-cell completion state of a sweep job,
+	// updated live while the sweep runs; nil for other kinds.
+	Progress *api.SweepProgress `json:"progress,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -133,6 +145,9 @@ type job struct {
 	cancel context.CancelFunc
 	ctx    context.Context
 	done   chan struct{}
+
+	// progress is sweep-only, written under Engine.mu as cells finish.
+	progress *api.SweepProgress
 }
 
 func (j *job) info() JobInfo {
@@ -143,6 +158,10 @@ func (j *job) info() JobInfo {
 	}
 	if j.err != nil {
 		in.Error = j.err.Error()
+	}
+	if j.progress != nil {
+		p := *j.progress
+		in.Progress = &p
 	}
 	return in
 }
@@ -162,8 +181,13 @@ type Engine struct {
 
 	queue    chan *job
 	workers  sync.WaitGroup
+	sweeps   sync.WaitGroup
 	baseCtx  context.Context
 	abortAll context.CancelFunc
+
+	// sysCache pools assembled thermal systems across planner jobs;
+	// it has its own synchronization.
+	sysCache *thermal.SystemCache
 
 	metrics *metrics
 }
@@ -180,6 +204,7 @@ func New(cfg Config) *Engine {
 		queue:    make(chan *job, cfg.QueueDepth),
 		baseCtx:  ctx,
 		abortAll: cancel,
+		sysCache: thermal.NewSystemCache(cfg.AssemblyCacheEntries),
 		metrics:  newMetrics(),
 	}
 	e.workers.Add(cfg.Workers)
@@ -196,6 +221,15 @@ func New(cfg Config) *Engine {
 // job's ID with Deduped set. Submit takes ownership of req; callers
 // must not mutate it afterwards.
 func (e *Engine) Submit(req api.Request) (JobInfo, error) {
+	return e.submit(req, false)
+}
+
+// submit is Submit plus the internal flag: cell submissions from a
+// running sweep orchestrator are continuations of an already-accepted
+// job, so they pass the closed check that rejects new outside work
+// while draining (Drain keeps the queue open until every sweep has
+// fanned out and finished).
+func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 	req.Normalize()
 	if err := req.Validate(); err != nil {
 		return JobInfo{}, err
@@ -204,7 +238,7 @@ func (e *Engine) Submit(req api.Request) (JobInfo, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed && !internal {
 		return JobInfo{}, ErrClosed
 	}
 	e.metrics.add(&e.metrics.jobsSubmitted, 1)
@@ -232,6 +266,23 @@ func (e *Engine) Submit(req api.Request) (JobInfo, error) {
 	j := e.newJobLocked(req, key)
 	j.state = StateQueued
 	j.ctx, j.cancel = context.WithCancel(e.baseCtx)
+
+	// A sweep is an orchestrator, not a unit of work: it fans its
+	// cells out through Submit (so they get caching, dedup and the
+	// worker pool) and only waits. Running it on a pool worker could
+	// deadlock the pool against itself — every worker parked on a
+	// sweep, no worker left for a cell — so sweeps get their own
+	// goroutine, tracked separately for Drain.
+	if sweep, ok := req.(*api.SweepRequest); ok {
+		j.progress = &api.SweepProgress{
+			TotalCells: len(sweep.Chips) * len(sweep.Depths) * len(sweep.Coolants) * len(sweep.ThresholdsC),
+		}
+		e.inflight[key] = j
+		e.sweeps.Add(1)
+		go e.runSweep(j, sweep)
+		return j.info(), nil
+	}
+
 	select {
 	case e.queue <- j:
 	default:
@@ -276,20 +327,31 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) run(j *job) {
-	e.mu.Lock()
-	if j.state != StateQueued {
-		// Cancelled while queued; already finalized.
-		e.mu.Unlock()
+	if !e.start(j) {
 		return
+	}
+	result, err := e.execute(j.ctx, j.req)
+	e.finalize(j, result, err)
+}
+
+// start moves a queued job to running; false means the job was
+// cancelled while queued and is already finalized.
+func (e *Engine) start(j *job) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j.state != StateQueued {
+		return false
 	}
 	j.state = StateRunning
 	j.started = time.Now()
 	e.running++
 	e.metrics.observe("queue", j.started.Sub(j.submitted))
-	e.mu.Unlock()
+	return true
+}
 
-	result, err := execute(j.ctx, j.req)
-
+// finalize records a running job's outcome and releases everything
+// waiting on it.
+func (e *Engine) finalize(j *job, result any, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.running--
@@ -314,6 +376,83 @@ func (e *Engine) run(j *job) {
 	e.rememberFinishedLocked(j)
 	j.cancel()
 	close(j.done)
+}
+
+// runSweep orchestrates one sweep job: fan the cells out as ordinary
+// plan submissions, wait for each, and assemble the batched response.
+func (e *Engine) runSweep(j *job, sweep *api.SweepRequest) {
+	defer e.sweeps.Done()
+	if !e.start(j) {
+		return
+	}
+	resp, err := e.collectSweep(j, sweep)
+	e.finalize(j, resp, err)
+}
+
+// collectSweep submits every cell up front — maximizing worker-pool
+// occupancy, cross-cell deduplication and assembly-cache sharing —
+// then gathers results in canonical cell order, updating the job's
+// progress as cells land. The first failed or canceled cell aborts
+// the sweep; cells already queued keep running (they are independent,
+// possibly shared jobs) and their results stay cached for a retry.
+func (e *Engine) collectSweep(j *job, sweep *api.SweepRequest) (*api.SweepResponse, error) {
+	cells := sweep.Cells()
+	submitted := make([]JobInfo, len(cells))
+	for i, cell := range cells {
+		in, err := e.submitCell(j.ctx, cell)
+		if err != nil {
+			return nil, fmt.Errorf("service: sweep cell %d/%d: %w", i+1, len(cells), err)
+		}
+		submitted[i] = in
+	}
+	resp := &api.SweepResponse{
+		Cells:      make([]api.SweepCell, len(cells)),
+		TotalCells: len(cells),
+	}
+	for i, cell := range cells {
+		// Cache hits from Submit are already terminal; everything else
+		// needs a wait. Either way Wait fetches the result payload.
+		in, err := e.Wait(j.ctx, submitted[i].ID)
+		if err != nil {
+			return nil, fmt.Errorf("service: sweep cell %d/%d: %w", i+1, len(cells), err)
+		}
+		if in.State != StateDone {
+			return nil, fmt.Errorf("service: sweep cell %d/%d %s: %s", i+1, len(cells), in.State, in.Error)
+		}
+		plan, ok := in.Result.(*api.PlanResponse)
+		if !ok {
+			return nil, fmt.Errorf("service: sweep cell %d/%d returned %T", i+1, len(cells), in.Result)
+		}
+		resp.Cells[i] = api.SweepCell{
+			Chip: cell.Chip, Chips: cell.Chips, Coolant: cell.Coolant,
+			ThresholdC: cell.ThresholdC, Key: in.Key, Plan: plan,
+		}
+		e.mu.Lock()
+		j.progress.DoneCells++
+		if in.CacheHit {
+			j.progress.CachedCells++
+			resp.CachedCells++
+		}
+		e.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// submitCell submits one sweep cell, waiting out transient queue-full
+// rejections: the pool is busy solving earlier cells, so backing off
+// briefly and retrying is the batched path's flow control.
+func (e *Engine) submitCell(ctx context.Context, cell *api.PlanRequest) (JobInfo, error) {
+	for {
+		in, err := e.submit(cell, true)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return in, err
+		}
+		select {
+		case <-ctx.Done():
+			return JobInfo{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
 }
 
 // Status returns a job snapshot without its result payload.
@@ -400,24 +539,30 @@ func (e *Engine) Metrics() Snapshot {
 	s.CacheEntries = e.cache.len()
 	s.Workers = e.cfg.Workers
 	e.mu.Unlock()
+	s.Assembly = e.sysCache.Stats()
 	return s
 }
 
 // Drain stops accepting new jobs, lets queued and running jobs finish,
-// and waits for the workers to exit. If ctx fires first, every
-// remaining job is aborted via its context and Drain waits for the
-// workers to observe that, returning ctx's error. Drain is
-// idempotent; concurrent calls all wait.
+// and waits for the workers and sweep orchestrators to exit. An
+// accepted sweep completes in full: its orchestrator may still fan
+// out cells through the internal submit path, so the queue stays open
+// until every sweep is done, and only then closes to wind the workers
+// down. If ctx fires first, every remaining job is aborted via its
+// context and Drain waits for the workers to observe that, returning
+// ctx's error. Drain is idempotent; concurrent calls all wait.
 func (e *Engine) Drain(ctx context.Context) error {
 	e.mu.Lock()
-	if !e.closed {
-		e.closed = true
-		close(e.queue)
-	}
+	first := !e.closed
+	e.closed = true
 	e.mu.Unlock()
 
 	finished := make(chan struct{})
 	go func() {
+		e.sweeps.Wait()
+		if first {
+			close(e.queue)
+		}
 		e.workers.Wait()
 		close(finished)
 	}()

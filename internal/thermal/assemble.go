@@ -17,6 +17,7 @@ type System struct {
 	Capacity []float64 // heat capacity per node (J/K), for transients
 	model    *Model
 	ambientG []float64 // conductance to ambient per node (W/K)
+	rowSum   []float64 // per-row sums of G, for ColdStartResidual
 }
 
 // coo is a temporary triplet accumulator keyed by (row, col).
@@ -211,6 +212,14 @@ func Assemble(m *Model) (*System, error) {
 	sys.ambientG = acc.ambient
 	return sys, nil
 }
+
+// Model returns the model the system was assembled from. Callers that
+// reuse an assembled system across many power vectors (frequency
+// sweeps, co-simulation) mutate the model's layer power maps through
+// this accessor and then call UpdatePower; the conductance matrix
+// itself depends only on geometry and boundary coefficients, so it
+// stays valid.
+func (s *System) Model() *Model { return s.model }
 
 // ambientG is stored so RefreshQ can re-fold ambient after a power
 // map change.

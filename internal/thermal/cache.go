@@ -1,0 +1,132 @@
+package thermal
+
+import "sync"
+
+// SystemCache is a keyed pool of assembled Systems for workloads that
+// solve the same geometry many times: a frequency sweep re-solves one
+// stack at every VFS step, and a batch sweep revisits each
+// (chips, coolant) geometry for every threshold. Assembly — building
+// the CSR conductance matrix — is comparable in cost to a full CG
+// solve, so amortizing it across solves is the single biggest win of
+// the batch path.
+//
+// Acquire hands out a System for *exclusive* use (a System's model
+// power maps and right-hand side are mutable state); Release returns
+// it to the pool. The pool is an LRU over idle systems: two
+// concurrent Acquires of the same key build two systems, and Release
+// keeps both for later, evicting the least recently returned system
+// beyond the capacity. The zero value is not usable; construct with
+// NewSystemCache. A nil *SystemCache is valid and caches nothing.
+type SystemCache struct {
+	mu   sync.Mutex
+	cap  int
+	seq  uint64
+	idle map[string][]idleSystem
+	n    int // total idle systems across keys
+
+	hits, misses, evictions uint64
+}
+
+type idleSystem struct {
+	sys *System
+	seq uint64
+}
+
+// NewSystemCache returns a cache holding at most capacity idle
+// systems (default 32 when capacity <= 0).
+func NewSystemCache(capacity int) *SystemCache {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &SystemCache{cap: capacity, idle: make(map[string][]idleSystem)}
+}
+
+// Acquire returns an idle system for the key, or builds one. The
+// caller owns the returned system exclusively until it passes it back
+// to Release (or drops it, which simply forgoes the reuse). The build
+// function runs without the cache lock held, so concurrent Acquires
+// of distinct keys assemble in parallel.
+func (c *SystemCache) Acquire(key string, build func() (*System, error)) (*System, error) {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	if stack := c.idle[key]; len(stack) > 0 {
+		s := stack[len(stack)-1].sys
+		c.idle[key] = stack[:len(stack)-1]
+		if len(c.idle[key]) == 0 {
+			delete(c.idle, key)
+		}
+		c.n--
+		c.hits++
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	return build()
+}
+
+// Release returns a system to the pool under its key, evicting the
+// least recently released idle system when the pool is over capacity.
+// Releasing nil is a no-op.
+func (c *SystemCache) Release(key string, s *System) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	c.idle[key] = append(c.idle[key], idleSystem{sys: s, seq: c.seq})
+	c.n++
+	for c.n > c.cap {
+		c.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the idle system with the smallest sequence
+// number. The pool is small (tens of entries), so a linear scan beats
+// maintaining an ordered structure.
+func (c *SystemCache) evictOldestLocked() {
+	var oldKey string
+	oldIdx := -1
+	var oldSeq uint64
+	for k, stack := range c.idle {
+		for i, e := range stack {
+			if oldIdx < 0 || e.seq < oldSeq {
+				oldKey, oldIdx, oldSeq = k, i, e.seq
+			}
+		}
+	}
+	if oldIdx < 0 {
+		return
+	}
+	stack := c.idle[oldKey]
+	c.idle[oldKey] = append(stack[:oldIdx], stack[oldIdx+1:]...)
+	if len(c.idle[oldKey]) == 0 {
+		delete(c.idle, oldKey)
+	}
+	c.n--
+	c.evictions++
+}
+
+// CacheStats is a point-in-time snapshot of the pool's counters.
+type CacheStats struct {
+	// Idle is the number of systems currently pooled.
+	Idle int `json:"idle"`
+	// Hits and Misses count Acquire outcomes; Evictions counts idle
+	// systems dropped by capacity pressure.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns the pool's counters. A nil cache reports zeros.
+func (c *SystemCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Idle: c.n, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

@@ -1,0 +1,149 @@
+package thermal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheTestSystem builds a tiny but real assembled system so the
+// cache tests exercise genuine System values.
+func cacheTestSystem(t testing.TB) *System {
+	t.Helper()
+	m := &Model{
+		Grid:     Grid{NX: 4, NY: 4, W: 0.01, H: 0.01},
+		AmbientC: 25,
+		Layers: []Layer{{
+			Name: "die", Thickness: 100e-6, K: 110,
+			VolHeatCap: 1.6e6, TopCoeff: 800,
+		}},
+	}
+	s, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemCacheHitAndMiss(t *testing.T) {
+	c := NewSystemCache(4)
+	builds := 0
+	build := func() (*System, error) {
+		builds++
+		return cacheTestSystem(t), nil
+	}
+
+	s1, err := c.Acquire("k", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("first acquire built %d systems", builds)
+	}
+	c.Release("k", s1)
+
+	s2, err := c.Acquire("k", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Fatal("second acquire did not reuse the released system")
+	}
+	if builds != 1 {
+		t.Fatalf("hit rebuilt: %d builds", builds)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Idle != 0 {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 0 idle", st)
+	}
+
+	// A different key never sees k's system.
+	if _, err := c.Acquire("other", build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Fatalf("distinct key reused: %d builds", builds)
+	}
+}
+
+func TestSystemCacheExclusiveOwnership(t *testing.T) {
+	c := NewSystemCache(4)
+	build := func() (*System, error) { return cacheTestSystem(t), nil }
+	a, _ := c.Acquire("k", build)
+	b, _ := c.Acquire("k", build)
+	if a == b {
+		t.Fatal("concurrent acquires shared one system")
+	}
+	c.Release("k", a)
+	c.Release("k", b)
+	if got := c.Stats().Idle; got != 2 {
+		t.Fatalf("idle %d after two releases, want 2", got)
+	}
+}
+
+func TestSystemCacheLRUEviction(t *testing.T) {
+	c := NewSystemCache(2)
+	build := func() (*System, error) { return cacheTestSystem(t), nil }
+	systems := make(map[string]*System)
+	for _, k := range []string{"a", "b", "c"} {
+		s, _ := c.Acquire(k, build)
+		systems[k] = s
+		c.Release(k, s)
+	}
+	st := c.Stats()
+	if st.Idle != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 idle / 1 eviction", st)
+	}
+	// "a" was released first, so it was evicted; "c" must still hit.
+	s, _ := c.Acquire("c", build)
+	if s != systems["c"] {
+		t.Fatal("most recently released system was evicted")
+	}
+	if _, err := c.Acquire("a", build); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != 4 {
+		t.Fatalf("misses %d, want 4 (three initial builds + evicted a)", got)
+	}
+}
+
+func TestSystemCacheNilSafe(t *testing.T) {
+	var c *SystemCache
+	s, err := c.Acquire("k", func() (*System, error) { return cacheTestSystem(t), nil })
+	if err != nil || s == nil {
+		t.Fatalf("nil cache acquire: %v %v", s, err)
+	}
+	c.Release("k", s) // must not panic
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+func TestSystemCacheConcurrent(t *testing.T) {
+	c := NewSystemCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%3)
+			for i := 0; i < 50; i++ {
+				s, err := c.Acquire(key, func() (*System, error) { return cacheTestSystem(t), nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Touch the system as a real user would.
+				if err := s.UpdatePower(); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Release(key, s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits+st.Misses != 400 {
+		t.Fatalf("acquires %d, want 400", st.Hits+st.Misses)
+	}
+}

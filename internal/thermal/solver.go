@@ -17,6 +17,13 @@ type SolveOptions struct {
 	// Guess, if non-nil, seeds the iteration (e.g. the previous VFS
 	// step's field during a frequency sweep).
 	Guess []float64
+	// TolRef, if positive, replaces the initial residual norm as the
+	// convergence reference: the solve stops at ‖r‖ ≤ Tol·TolRef.
+	// Without it a warm start is self-defeating — a good guess shrinks
+	// ‖r₀‖ and therefore tightens its own target by the same factor.
+	// Warm-started callers pass ColdStartResidual() so they converge
+	// to exactly the absolute target a cold solve would have.
+	TolRef float64
 	// Ctx, if non-nil, is polled between CG iterations so a cancelled
 	// request (service timeout, client disconnect) abandons the solve
 	// promptly instead of iterating to convergence. The returned error
@@ -59,6 +66,34 @@ func dot(a, b []float64) float64 {
 	})
 }
 
+// ColdStartResidual returns ‖q − G·x₀‖ where x₀ is the uniform
+// ambient field a cold solve starts from. Warm-started steady solves
+// pass this as SolveOptions.TolRef so their convergence target is the
+// same absolute residual a cold solve would stop at — which is what
+// makes warm starts actually cheaper rather than merely
+// better-targeted. O(N) using cached row sums of G.
+func (s *System) ColdStartResidual() float64 {
+	if s.rowSum == nil {
+		s.rowSum = make([]float64, s.N)
+		for r := 0; r < s.N; r++ {
+			var sum float64
+			for k := s.RowPtr[r]; k < s.RowPtr[r+1]; k++ {
+				sum += s.Val[k]
+			}
+			s.rowSum[r] = sum
+		}
+	}
+	amb := s.model.AmbientC
+	return math.Sqrt(parallel.ReduceSum(s.N, func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			d := s.Q[i] - amb*s.rowSum[i]
+			acc += d * d
+		}
+		return acc
+	}))
+}
+
 // SolveSteady solves G·T = q and returns the temperature field.
 func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 	opt = opt.withDefaults(s.N)
@@ -89,6 +124,10 @@ func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 	if r0norm == 0 {
 		return x, nil
 	}
+	ref := r0norm
+	if opt.TolRef > 0 {
+		ref = opt.TolRef
+	}
 	invDiag := make([]float64, n)
 	for i, d := range s.Diag {
 		if d <= 0 {
@@ -113,7 +152,7 @@ func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 			}
 		}
 		rn := math.Sqrt(dot(r, r))
-		if rn <= opt.Tol*r0norm {
+		if rn <= opt.Tol*ref {
 			return x, nil
 		}
 		s.MatVec(ap, p)
@@ -140,7 +179,7 @@ func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 	}
 	rn := math.Sqrt(dot(r, r))
 	return nil, fmt.Errorf("thermal: CG did not converge in %d iterations (residual %.3e, target %.3e)",
-		opt.MaxIter, rn, opt.Tol*r0norm)
+		opt.MaxIter, rn, opt.Tol*ref)
 }
 
 // Result packages a solved temperature field with its model for

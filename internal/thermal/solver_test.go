@@ -336,3 +336,68 @@ func TestSORValidation(t *testing.T) {
 		t.Error("an impossible sweep budget must report non-convergence")
 	}
 }
+
+// TestColdStartResidual checks the cached-row-sum formula against a
+// directly computed ‖q − G·ambient·1‖.
+func TestColdStartResidual(t *testing.T) {
+	m := slab(12, 12, 7, 280)
+	sys, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]float64, sys.N)
+	for i := range x0 {
+		x0[i] = m.AmbientC
+	}
+	gx := make([]float64, sys.N)
+	sys.MatVec(gx, x0)
+	var want float64
+	for i := range gx {
+		d := sys.Q[i] - gx[i]
+		want += d * d
+	}
+	want = math.Sqrt(want)
+	got := sys.ColdStartResidual()
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("ColdStartResidual %.12e, direct %.12e", got, want)
+	}
+	// A zero-power model's residual is zero: ambient solves it exactly.
+	zsys, _ := Assemble(slab(8, 8, 0, 50))
+	if r := zsys.ColdStartResidual(); r > 1e-12 {
+		t.Fatalf("zero-power cold-start residual %.3e", r)
+	}
+}
+
+// TestTolRefKeepsWarmStartsHonest: with TolRef a near-exact guess must
+// converge almost immediately, AND the result must meet the same
+// absolute residual target as a cold solve — the equivalence contract
+// the session layer's superposition basis relies on.
+func TestTolRefKeepsWarmStartsHonest(t *testing.T) {
+	m := slab(16, 16, 9, 321)
+	sys, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sys.ColdStartResidual()
+	cold, err := sys.SolveSteady(SolveOptions{TolRef: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-start from the converged field with a tiny iteration budget:
+	// under TolRef this passes (the guess already meets the absolute
+	// target), whereas the relative criterion would demand another nine
+	// orders of magnitude from r0 and blow the budget.
+	guess := append([]float64(nil), cold...)
+	warm, err := sys.SolveSteady(SolveOptions{Guess: guess, TolRef: ref, MaxIter: 3})
+	if err != nil {
+		t.Fatalf("warm start with TolRef did not converge instantly: %v", err)
+	}
+	for i := range warm {
+		if math.Abs(warm[i]-cold[i]) > 1e-6 {
+			t.Fatalf("warm result drifted at node %d", i)
+		}
+	}
+	if _, err := sys.SolveSteady(SolveOptions{Guess: guess, MaxIter: 3}); err == nil {
+		t.Fatal("relative criterion unexpectedly accepted the warm start in 3 iterations; TolRef would be redundant")
+	}
+}

@@ -71,11 +71,22 @@ func (st *Stepper) Time() float64 { return st.time }
 // Step advances one backward-Euler step. The model's power maps may
 // be mutated between steps (after calling sys.UpdatePower) to drive
 // time-varying workloads.
+//
+// Each solve warm-starts from the current field and converges against
+// the steady system's cold-start residual at the current power — a
+// step-independent absolute target. Relative to the step's own initial
+// residual (the old criterion) this is the same accuracy the first
+// step from ambient gets, but it stays an honest target as the run
+// approaches quasi-steady state, where the per-step change (and with
+// it the old, self-tightening reference) shrinks toward zero and
+// would otherwise force full-depth CG on every near-converged step.
 func (st *Stepper) Step() error {
 	for i := range st.shifted.Q {
 		st.shifted.Q[i] = st.sys.Q[i] + st.sys.Capacity[i]/st.dt*st.T[i]
 	}
-	t, err := st.shifted.SolveSteady(SolveOptions{Guess: st.T, Tol: 1e-6})
+	t, err := st.shifted.SolveSteady(SolveOptions{
+		Guess: st.T, Tol: 1e-6, TolRef: st.sys.ColdStartResidual(),
+	})
 	if err != nil {
 		return fmt.Errorf("thermal: transient step at t=%.4gs: %w", st.time, err)
 	}

@@ -1,0 +1,336 @@
+// Package client is the typed Go client of the watersrvd HTTP API.
+//
+// The synchronous helpers (Plan, Cosim, Sweep) mirror the server's
+// synchronous endpoints: they block until the simulation finishes,
+// transparently falling back to the async job API when the server
+// answers 202 because the request outlived its sync budget. The job
+// helpers (Submit, Job, Result, Cancel, Wait) expose the async
+// surface directly for callers that want to multiplex work.
+//
+// Server errors arrive as *APIError carrying the stable machine
+// code of the JSON error envelope; transient capacity errors
+// (503 queue_full / unavailable) are retried automatically with a
+// linear backoff before surfacing.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"waterimm/internal/api"
+)
+
+// Client talks to one watersrvd instance. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base *url.URL
+	http *http.Client
+
+	// MaxRetries bounds the automatic retries of 503 responses
+	// (queue full, draining). Default 4.
+	MaxRetries int
+	// RetryBackoff is the pause after the i-th failed attempt,
+	// scaled linearly: backoff, 2·backoff, ... Default 250 ms.
+	RetryBackoff time.Duration
+	// PollInterval paces Wait's status polling. Default 50 ms.
+	PollInterval time.Duration
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for
+// http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:         u,
+		http:         httpClient,
+		MaxRetries:   4,
+		RetryBackoff: 250 * time.Millisecond,
+		PollInterval: 50 * time.Millisecond,
+	}, nil
+}
+
+// APIError is a non-2xx server response decoded from the JSON error
+// envelope {"error": {"code": ..., "message": ...}}. Dispatch on
+// Code, not Message.
+type APIError struct {
+	StatusCode int    // HTTP status
+	Code       string // stable machine code ("queue_full", "not_found", ...)
+	Message    string // human-readable detail
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Transient reports whether the error is worth retrying: the server
+// was up but had no capacity at that moment.
+func (e *APIError) Transient() bool {
+	return e.Code == "queue_full" || e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Job mirrors the server's job snapshot. Result stays raw JSON; the
+// typed helpers decode it into the response of the job's kind.
+type Job struct {
+	ID       string             `json:"id"`
+	Kind     string             `json:"kind"`
+	Key      string             `json:"key"`
+	State    string             `json:"state"`
+	CacheHit bool               `json:"cache_hit"`
+	Deduped  bool               `json:"deduped,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Progress *api.SweepProgress `json:"progress,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job has stopped moving.
+func (j *Job) Terminal() bool {
+	return j.State == "done" || j.State == "failed" || j.State == "canceled"
+}
+
+// Plan runs a plan request to completion.
+func (c *Client) Plan(ctx context.Context, req *api.PlanRequest) (*api.PlanResponse, error) {
+	var resp api.PlanResponse
+	if err := c.sync(ctx, "/v1/plan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Cosim runs a co-simulation request to completion.
+func (c *Client) Cosim(ctx context.Context, req *api.CosimRequest) (*api.CosimResponse, error) {
+	var resp api.CosimResponse
+	if err := c.sync(ctx, "/v1/cosim", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep runs a batched sweep request to completion.
+func (c *Client) Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepResponse, error) {
+	var resp api.SweepResponse
+	if err := c.sync(ctx, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit enqueues a request on the async job API and returns its
+// initial snapshot (terminal immediately on a cache hit).
+func (c *Client) Submit(ctx context.Context, req api.Request) (*Job, error) {
+	env, err := envelope(req)
+	if err != nil {
+		return nil, err
+	}
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", env, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches the current snapshot of a job.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Result fetches a job snapshot including its result payload. While
+// the job is still pending the server answers 202 and Result returns
+// the snapshot with a nil Result field — poll or use Wait.
+func (c *Client) Result(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Cancel requests cancellation and returns the post-cancel snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Wait polls until the job reaches a terminal state and returns its
+// final snapshot including the result payload.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	tick := time.NewTicker(c.PollInterval)
+	defer tick.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return c.Result(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Metrics fetches the engine metrics snapshot as generic JSON.
+func (c *Client) Metrics(ctx context.Context) (map[string]json.RawMessage, error) {
+	var m map[string]json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// sync posts req to a synchronous endpoint and decodes the bare
+// response into out. A 202 means the request outlived the server's
+// sync budget: the job keeps running, so fall through to the async
+// API and wait for it there.
+func (c *Client) sync(ctx context.Context, path string, req api.Request, out any) error {
+	status, body, err := c.roundTrip(ctx, http.MethodPost, path, req)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusOK:
+		return decodeInto(body, out)
+	case http.StatusAccepted:
+		var j Job
+		if err := decodeInto(body, &j); err != nil {
+			return err
+		}
+		final, err := c.Wait(ctx, j.ID)
+		if err != nil {
+			return err
+		}
+		if final.State != "done" {
+			return fmt.Errorf("client: job %s ended %s: %s", final.ID, final.State, final.Error)
+		}
+		return decodeInto(final.Result, out)
+	default:
+		return apiError(status, body)
+	}
+}
+
+// do performs one API call expecting a 2xx JSON body decoded into
+// out (which may be nil to discard it).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	status, body, err := c.roundTrip(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		return apiError(status, body)
+	}
+	if out == nil {
+		return nil
+	}
+	return decodeInto(body, out)
+}
+
+// roundTrip sends one request, retrying transient 503s, and returns
+// the final status and body. Non-2xx statuses are returned, not
+// errors; callers map them (202 is meaningful to sync and Result).
+func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (int, []byte, error) {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return 0, nil, fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	u := *c.base
+	u.Path = path
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: build request: %w", err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, nil, fmt.Errorf("client: read response: %w", err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.MaxRetries {
+			select {
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			case <-time.After(time.Duration(attempt+1) * c.RetryBackoff):
+			}
+			continue
+		}
+		return resp.StatusCode, b, nil
+	}
+}
+
+func decodeInto(body []byte, out any) error {
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decode response: %w (body %.120s)", err, body)
+	}
+	return nil
+}
+
+// apiError decodes the error envelope, degrading gracefully when the
+// body is not the expected JSON (a proxy error page, say).
+func apiError(status int, body []byte) error {
+	var e struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
+		return &APIError{StatusCode: status, Code: "unknown", Message: string(body)}
+	}
+	return &APIError{StatusCode: status, Code: e.Error.Code, Message: e.Error.Message}
+}
+
+// envelope wraps a request for the async submit endpoint.
+func envelope(req api.Request) (*api.Envelope, error) {
+	switch r := req.(type) {
+	case *api.PlanRequest:
+		return &api.Envelope{Plan: r}, nil
+	case *api.CosimRequest:
+		return &api.Envelope{Cosim: r}, nil
+	case *api.SweepRequest:
+		return &api.Envelope{Sweep: r}, nil
+	}
+	return nil, fmt.Errorf("client: unsupported request kind %q", req.Kind())
+}
