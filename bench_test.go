@@ -18,6 +18,7 @@ import (
 	"waterimm/internal/core"
 	"waterimm/internal/cosim"
 	"waterimm/internal/cpu"
+	"waterimm/internal/floorplan"
 	"waterimm/internal/fullsys"
 	"waterimm/internal/material"
 	"waterimm/internal/mcpat"
@@ -237,6 +238,95 @@ func benchFreqSweepPath(b *testing.B, mkPlanner func() *core.Planner) {
 		}
 	}
 	b.ReportMetric(float64(feasible), "feasible-cells")
+}
+
+// --- Multigrid vs Jacobi preconditioning (the PR 3 tentpole) ---
+
+// benchPrecondSystem assembles a chips-deep water-immersion stack on a
+// grid×grid mesh with the low-power CMP's top VFS step assigned, the
+// configuration family of the MG acceptance criterion.
+func benchPrecondSystem(b *testing.B, grid, chips int) *thermal.System {
+	b.Helper()
+	chip := power.LowPower
+	steps := chip.Steps()
+	step := steps[len(steps)-1]
+	die, err := mcpat.ChipAt(chip, step, chip.RefTempC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dies := make([]*floorplan.Floorplan, chips)
+	for i := range dies {
+		dies[i] = die
+	}
+	params := stack.DefaultParams()
+	params.GridNX, params.GridNY = grid, grid
+	model, err := stack.Build(stack.Config{Params: params, Coolant: material.Water, Dies: dies})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := thermal.Assemble(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchSolvePrecond cold-solves the same systems under one
+// preconditioner kind; run the Jacobi/MG pair and compare. The
+// 256×256 grid under 8 chips (≈1.2 M unknowns) is the acceptance
+// point: MG must be ≥2× faster with ≤½ the iterations.
+func benchSolvePrecond(b *testing.B, kind string) {
+	cases := []struct {
+		name        string
+		grid, chips int
+	}{
+		{"grid64x4", 64, 4},
+		{"grid128x8", 128, 8},
+		{"grid256x8", 256, 8},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := benchPrecondSystem(b, c.grid, c.chips)
+			prec, err := sys.SelectPreconditioner(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if kind == thermal.PrecondMG {
+				// Hierarchy setup is per-system and amortized by the
+				// SystemCache in production; exclude it here so the
+				// pair isolates per-solve cost.
+				if _, err := sys.Multigrid(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var stats thermal.SolveStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.SolveSteady(thermal.SolveOptions{Precond: prec, Stats: &stats}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Iterations), "cg-iters")
+		})
+	}
+}
+
+func BenchmarkSolveJacobi(b *testing.B) { benchSolvePrecond(b, thermal.PrecondJacobi) }
+func BenchmarkSolveMG(b *testing.B)     { benchSolvePrecond(b, thermal.PrecondMG) }
+
+// BenchmarkSolveSteady times the default (Jacobi) cold solve on a
+// 4-chip stack — the reference for the fused-kernel CG change: fewer
+// memory sweeps per iteration show up directly as ns/op per cg-iter.
+func BenchmarkSolveSteady(b *testing.B) {
+	sys := benchPrecondSystem(b, 64, 4)
+	var stats thermal.SolveStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SolveSteady(thermal.SolveOptions{Stats: &stats}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Iterations), "cg-iters")
 }
 
 // --- Substrate performance benchmarks ---

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	watersrvd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
-//	          [-sync-timeout 120s] [-drain-timeout 30s]
+//	          [-sync-timeout 120s] [-drain-timeout 30s] [-pprof]
 //
 // Endpoints:
 //
@@ -20,6 +20,7 @@
 //	GET    /v1/metrics         engine metrics as JSON
 //	GET    /healthz            liveness
 //	GET    /debug/vars         expvar (includes the metrics snapshot)
+//	GET    /debug/pprof/...    net/http/pprof profiling (only with -pprof)
 //
 // Synchronous endpoints wait up to -sync-timeout; if the simulation
 // is still running they answer 202 with the job snapshot so the
@@ -41,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,7 @@ var (
 	flagCache        = flag.Int("cache", 512, "result cache entries")
 	flagSyncTimeout  = flag.Duration("sync-timeout", 120*time.Second, "max wait of the synchronous endpoints")
 	flagDrainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	flagPprof        = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 )
 
 // server binds the engine to the HTTP surface.
@@ -65,7 +68,7 @@ type server struct {
 	syncTimeout time.Duration
 }
 
-func newHandler(e *service.Engine, syncTimeout time.Duration) http.Handler {
+func newHandler(e *service.Engine, syncTimeout time.Duration, pprofEnabled bool) http.Handler {
 	s := &server{engine: e, syncTimeout: syncTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -84,6 +87,18 @@ func newHandler(e *service.Engine, syncTimeout time.Duration) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if pprofEnabled {
+		// Registered on the private mux (not http.DefaultServeMux, which
+		// importing net/http/pprof would populate unconditionally) so
+		// profiling is opt-in via -pprof: CPU and heap profiles of a
+		// solver-bound daemon are invaluable, but the endpoints leak
+		// internals and cost real CPU while sampling.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -261,7 +276,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *flagAddr,
-		Handler:           newHandler(engine, *flagSyncTimeout),
+		Handler:           newHandler(engine, *flagSyncTimeout, *flagPprof),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

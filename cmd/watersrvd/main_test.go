@@ -19,7 +19,7 @@ import (
 func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Engine) {
 	t.Helper()
 	e := service.New(cfg)
-	ts := httptest.NewServer(newHandler(e, time.Minute))
+	ts := httptest.NewServer(newHandler(e, time.Minute, false))
 	t.Cleanup(func() {
 		ts.Close()
 		e.Close()
@@ -357,7 +357,7 @@ func TestErrorEnvelope(t *testing.T) {
 		{"/v1/plan", `{not json`, http.StatusBadRequest, "bad_request"},
 		{"/v1/plan", `{"unknown_field": 1}`, http.StatusBadRequest, "bad_request"},
 		{"/v1/plan", `{"coolant": "lava"}`, http.StatusBadRequest, "invalid_argument"},
-		{"/v1/plan", `{"chips": 32, "grid_nx": 128, "grid_ny": 128}`, http.StatusBadRequest, "invalid_argument"},
+		{"/v1/plan", `{"chips": 32, "grid_nx": 256, "grid_ny": 256}`, http.StatusBadRequest, "invalid_argument"},
 		{"/v1/sweep", `{"depths": [0]}`, http.StatusBadRequest, "invalid_argument"},
 		{"/v1/jobs", `{}`, http.StatusBadRequest, "bad_request"},
 		{"/v1/jobs", `{"plan": {}, "cosim": {}}`, http.StatusBadRequest, "bad_request"},
@@ -404,12 +404,61 @@ func TestExpvarExposed(t *testing.T) {
 	}
 }
 
+// TestPprofGating checks the profiling endpoints are served only when
+// the -pprof flag enables them.
+func TestPprofGating(t *testing.T) {
+	off, _ := newTestServer(t, service.Config{})
+	resp, _ := get(t, off.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served while disabled: %d", resp.StatusCode)
+	}
+	e := service.New(service.Config{})
+	on := httptest.NewServer(newHandler(e, time.Minute, true))
+	t.Cleanup(func() {
+		on.Close()
+		e.Close()
+	})
+	resp, body := get(t, on.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("pprof")) {
+		t.Fatalf("pprof index with -pprof: %d %.80s", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsReportSolverStats checks that /v1/metrics surfaces the
+// per-preconditioner CG iteration aggregates after a plan ran.
+func TestMetricsReportSolverStats(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	if resp, body := post(t, ts.URL+"/v1/plan", fastPlanBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d %.120s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts.URL+"/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m struct {
+		Solver map[string]struct {
+			Solves        uint64 `json:"solves"`
+			Iterations    uint64 `json:"iterations"`
+			MaxIterations int    `json:"max_iterations"`
+		} `json:"solver"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	// An 8×8 grid sits far below the auto-multigrid threshold, so the
+	// solves must have been recorded under the Jacobi kind.
+	s, ok := m.Solver["jacobi"]
+	if !ok || s.Solves == 0 || s.Iterations == 0 || s.MaxIterations == 0 {
+		t.Fatalf("solver stats missing or empty: %+v (body %.200s)", m.Solver, body)
+	}
+}
+
 // TestGracefulShutdownDrains mirrors the SIGTERM path main() wires:
 // stop the HTTP listener, then drain the engine with jobs in flight —
 // every accepted job must still finish.
 func TestGracefulShutdownDrains(t *testing.T) {
 	e := service.New(service.Config{Workers: 2})
-	ts := httptest.NewServer(newHandler(e, time.Minute))
+	ts := httptest.NewServer(newHandler(e, time.Minute, false))
 	c, err := client.New(ts.URL, ts.Client())
 	if err != nil {
 		t.Fatal(err)

@@ -373,19 +373,26 @@ func (e *Envelope) Request() (Request, error) {
 }
 
 func validGrid(nx, ny int) error {
-	if nx < 4 || nx > 128 || ny < 4 || ny > 128 {
-		return fmt.Errorf("grid %dx%d out of range [4, 128]", nx, ny)
+	if nx < 4 || nx > 256 || ny < 4 || ny > 256 {
+		return fmt.Errorf("grid %dx%d out of range [4, 256]", nx, ny)
 	}
 	return nil
 }
 
 // gridNodeBudget caps nx·ny·chips. The per-axis grid bounds alone do
-// not stop a request from assembling an enormous sparse system (a
-// 128×128 grid under a 32-chip stack is ~2 M nodes, hundreds of MB of
-// CSR matrix and solver vectors per concurrent job); the budget keeps
-// the largest admissible system to ~1/4 of that, which one worker can
-// solve without risking the service's memory.
-const gridNodeBudget = 128 * 128 * 8
+// not stop a request from assembling an enormous sparse system; the
+// budget bounds the per-job memory. At the cap, a 256×256×8-chip
+// stack is 256·256·(2·8+2) ≈ 1.2 M unknowns: ~7 CSR entries per row
+// (≈ 100 MB matrix) plus solver vectors (~60 MB) plus the multigrid
+// hierarchy (Galerkin coarse operators total ≈ 1.3× the fine matrix,
+// ≈ 130 MB) — roughly 300 MB per concurrent job, which one worker
+// can hold comfortably. The budget is 4× the previous 128·128·8
+// because multigrid preconditioning makes the CG iteration count
+// grid-independent: a 256-per-axis solve now costs about as many
+// iterations as a 64-per-axis one did under Jacobi. Validation
+// limits are not part of the canonical request encoding, so raising
+// the budget does not move any cache key (see SchemaVersion).
+const gridNodeBudget = 256 * 256 * 8
 
 func validGridLoad(nx, ny, chips int) error {
 	if nx*ny*chips > gridNodeBudget {

@@ -84,7 +84,7 @@ func TestSweepValidate(t *testing.T) {
 		{"depth-high", &SweepRequest{Depths: []int{33}}, "depths"},
 		{"threshold", &SweepRequest{ThresholdsC: []float64{25}}, "thresholds_c"},
 		{"grid", &SweepRequest{GridNX: 2}, "grid"},
-		{"grid-load", &SweepRequest{Depths: []int{32}, GridNX: 128, GridNY: 128}, "budget"},
+		{"grid-load", &SweepRequest{Depths: []int{32}, GridNX: 256, GridNY: 256}, "budget"},
 	}
 	for _, tc := range bad {
 		tc.req.Normalize()
@@ -181,12 +181,14 @@ func TestCacheKeysFrozen(t *testing.T) {
 // The grid node budget must also reject a plan request that the
 // per-axis bounds alone would admit.
 func TestGridNodeBudget(t *testing.T) {
-	r := &PlanRequest{Chips: 32, GridNX: 128, GridNY: 128}
+	r := &PlanRequest{Chips: 32, GridNX: 256, GridNY: 256}
 	r.Normalize()
 	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "budget") {
 		t.Fatalf("oversized plan validated: %v", err)
 	}
-	ok := &PlanRequest{Chips: 8, GridNX: 128, GridNY: 128}
+	// 256·256·8 sits exactly on the budget and must be admissible —
+	// it is the acceptance grid for the multigrid path.
+	ok := &PlanRequest{Chips: 8, GridNX: 256, GridNY: 256}
 	ok.Normalize()
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("budget-edge plan rejected: %v", err)

@@ -51,6 +51,15 @@ type Planner struct {
 	// re-assembling the model for every solve — the pre-batch
 	// baseline, kept for benchmarks and equivalence tests.
 	ColdStart bool
+	// Precond selects the CG preconditioner for session solves:
+	// thermal.PrecondAuto (the default when empty), PrecondJacobi, or
+	// PrecondMG. The choice changes iteration counts, never results,
+	// so it deliberately stays out of every cache key.
+	Precond string
+	// OnSolve, when non-nil, observes every steady solve (iteration
+	// count, preconditioner kind). The service wires this into
+	// /v1/metrics; it must be safe for concurrent calls.
+	OnSolve func(thermal.SolveStats)
 }
 
 // NewPlanner returns a Planner with Table 2 parameters and the

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/thermal"
+)
+
+// TestMultigridMatchesJacobiAcrossCoolants is the cross-layer half of
+// the preconditioner equivalence contract: a full frequency search
+// under multigrid must pick the same VFS step and land on the same
+// thermal field as under Jacobi, on each of the paper's cooling
+// regimes — air (heatsink path with its lumped extras), the
+// water-pipe cold plate, and dielectric immersion.
+func TestMultigridMatchesJacobiAcrossCoolants(t *testing.T) {
+	coolants := []material.Coolant{material.Air, material.WaterPipe, material.Fluorinert}
+	for _, coolant := range coolants {
+		run := func(kind string) (Plan, *thermal.Result, thermal.SolveStats) {
+			p := fastPlanner()
+			p.Params.GridNX, p.Params.GridNY = 32, 32
+			p.Precond = kind
+			var last thermal.SolveStats
+			var mu sync.Mutex
+			p.OnSolve = func(st thermal.SolveStats) {
+				mu.Lock()
+				last = st
+				mu.Unlock()
+			}
+			plan, res, err := p.MaxFrequencyResultCtx(context.Background(), power.LowPower, 2, coolant)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", coolant.Name, kind, err)
+			}
+			return plan, res, last
+		}
+		jPlan, jRes, jStats := run(thermal.PrecondJacobi)
+		mPlan, mRes, mStats := run(thermal.PrecondMG)
+		if jStats.Preconditioner != thermal.PrecondJacobi || mStats.Preconditioner != thermal.PrecondMG {
+			t.Fatalf("%s: stats report %q/%q", coolant.Name, jStats.Preconditioner, mStats.Preconditioner)
+		}
+		if jPlan.Feasible != mPlan.Feasible || jPlan.Step.FHz != mPlan.Step.FHz {
+			t.Fatalf("%s: plans diverge: jacobi %+v, mg %+v", coolant.Name, jPlan, mPlan)
+		}
+		if d := math.Abs(jPlan.PeakC - mPlan.PeakC); d > 1e-4 {
+			t.Errorf("%s: peaks differ by %.2e C", coolant.Name, d)
+		}
+		if jRes == nil || mRes == nil {
+			continue
+		}
+		var maxDiff float64
+		for i := range jRes.T {
+			maxDiff = math.Max(maxDiff, math.Abs(jRes.T[i]-mRes.T[i]))
+		}
+		if maxDiff > 1e-4 {
+			t.Errorf("%s: fields differ by up to %.2e C", coolant.Name, maxDiff)
+		}
+	}
+}
+
+// TestAutoPrecondObeysThreshold pins the auto policy: small sessions
+// stay on Jacobi (hierarchy setup would not pay for itself), and the
+// planner accepts only known kinds.
+func TestAutoPrecondObeysThreshold(t *testing.T) {
+	p := fastPlanner() // 16×16 grid — far below the auto threshold
+	var got thermal.SolveStats
+	p.OnSolve = func(st thermal.SolveStats) { got = st }
+	if _, err := p.MaxFrequency(power.LowPower, 1, material.Water); err != nil {
+		t.Fatal(err)
+	}
+	if got.Preconditioner != thermal.PrecondJacobi || got.Iterations == 0 {
+		t.Fatalf("auto on a small grid used %q (%d iters); want jacobi", got.Preconditioner, got.Iterations)
+	}
+
+	bad := fastPlanner()
+	bad.Precond = "cholesky"
+	if _, err := bad.NewSession(power.LowPower, 1, material.Water); err == nil {
+		t.Fatal("unknown preconditioner kind accepted")
+	}
+}
+
+// TestMultigridHierarchyRidesCache verifies the setup amortization:
+// two sessions acquiring the same pooled system must share one
+// hierarchy build (the second session's system already carries it).
+func TestMultigridHierarchyRidesCache(t *testing.T) {
+	p := fastPlanner()
+	p.Precond = thermal.PrecondMG
+	p.Cache = thermal.NewSystemCache(4)
+	ctx := context.Background()
+
+	s1, err := p.NewSession(power.LowPower, 2, material.Water)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys1 := s1.sys
+	mg1, err := sys1.Multigrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Peak(ctx, 1.5e9); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, err := p.NewSession(power.LowPower, 2, material.Water)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.sys != sys1 {
+		t.Skip("cache handed out a fresh system; nothing to assert")
+	}
+	mg2, err := s2.sys.Multigrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg2 != mg1 {
+		t.Fatal("pooled system rebuilt its multigrid hierarchy")
+	}
+}

@@ -37,6 +37,7 @@ type Session struct {
 
 	sys     *thermal.System
 	model   *thermal.Model
+	prec    thermal.Preconditioner
 	base    *floorplan.Floorplan
 	flipped *floorplan.Floorplan
 
@@ -126,7 +127,30 @@ func (p *Planner) NewSession(chip power.Model, chips int, coolant material.Coola
 	}
 	s.sys = sys
 	s.model = sys.Model()
+	// Resolve the preconditioner once per session: the multigrid
+	// hierarchy is cached on the system, so pooled systems carry it
+	// back and forth through the cache and pay setup only once.
+	if s.prec, err = sys.SelectPreconditioner(p.Precond); err != nil {
+		p.Cache.Release(s.key, sys)
+		return nil, err
+	}
 	return s, nil
+}
+
+// runSteady is the session's single SolveSteady choke point: it
+// attaches the resolved preconditioner and reports per-solve stats to
+// the planner's OnSolve observer.
+func (s *Session) runSteady(opt thermal.SolveOptions) ([]float64, error) {
+	opt.Precond = s.prec
+	var stats thermal.SolveStats
+	if opt.Stats == nil {
+		opt.Stats = &stats
+	}
+	t, err := s.sys.SolveSteady(opt)
+	if err == nil && s.p.OnSolve != nil {
+		s.p.OnSolve(*opt.Stats)
+	}
+	return t, err
 }
 
 // Close returns the assembled system to the planner's cache. The
@@ -195,7 +219,7 @@ func (s *Session) buildBasis(ctx context.Context) error {
 		if err := s.setPower(dynW, statW); err != nil {
 			return nil, err
 		}
-		return s.sys.SolveSteady(thermal.SolveOptions{Ctx: ctx, Guess: guess, TolRef: tolRef})
+		return s.runSteady(thermal.SolveOptions{Ctx: ctx, Guess: guess, TolRef: tolRef})
 	}
 	base, err := solve(0, 0, nil)
 	if err != nil {
@@ -287,7 +311,7 @@ func (s *Session) solveAt(ctx context.Context, step power.Step, leakTemp float64
 			s.guess[i] = g
 		}
 	}
-	t, err := s.sys.SolveSteady(thermal.SolveOptions{
+	t, err := s.runSteady(thermal.SolveOptions{
 		Ctx: ctx, Guess: s.guess, TolRef: s.sys.ColdStartResidual(),
 	})
 	if err != nil {
@@ -324,7 +348,15 @@ func (s *Session) coldSolveAt(ctx context.Context, step power.Step, leakTemp flo
 	if err != nil {
 		return nil, err
 	}
-	return thermal.Solve(model, thermal.SolveOptions{Ctx: ctx})
+	// The baseline deliberately stays on the default Jacobi path, but
+	// still reports its stats so cold/warm comparisons show up in the
+	// same metrics.
+	var stats thermal.SolveStats
+	res, err := thermal.Solve(model, thermal.SolveOptions{Ctx: ctx, Stats: &stats})
+	if err == nil && s.p.OnSolve != nil {
+		s.p.OnSolve(stats)
+	}
+	return res, err
 }
 
 // Solve simulates the session's stack at the given frequency,

@@ -11,7 +11,6 @@ import (
 	"waterimm/internal/npb"
 	"waterimm/internal/power"
 	"waterimm/internal/stack"
-	"waterimm/internal/thermal"
 )
 
 // execute dispatches a validated, normalized request to its solver.
@@ -21,14 +20,14 @@ import (
 func (e *Engine) execute(ctx context.Context, req api.Request) (any, error) {
 	switch r := req.(type) {
 	case *api.PlanRequest:
-		return runPlan(ctx, r, e.sysCache)
+		return e.runPlan(ctx, r)
 	case *api.CosimRequest:
 		return runCosim(ctx, r)
 	}
 	return nil, fmt.Errorf("service: unknown request kind %q", req.Kind())
 }
 
-func runPlan(ctx context.Context, r *api.PlanRequest, sysCache *thermal.SystemCache) (*api.PlanResponse, error) {
+func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResponse, error) {
 	chip, err := power.ModelByName(r.Chip)
 	if err != nil {
 		return nil, err
@@ -45,7 +44,11 @@ func runPlan(ctx context.Context, r *api.PlanRequest, sysCache *thermal.SystemCa
 	// The engine-wide assembly cache: concurrent jobs over the same
 	// geometry (sweep cells differing only in threshold, repeated
 	// requests) share the assembled conductance system.
-	p.Cache = sysCache
+	p.Cache = e.sysCache
+	// Every CG solve reports its iteration count and preconditioner
+	// kind to /v1/metrics (observeSolve is lock-protected, so the
+	// concurrent sessions of a sweep can share the observer).
+	p.OnSolve = e.metrics.observeSolve
 
 	plan, res, err := p.MaxFrequencyResultCtx(ctx, chip, r.Chips, coolant)
 	if err != nil {

@@ -79,10 +79,45 @@ type metrics struct {
 	// hists holds per-stage latency histograms: "queue" (submit →
 	// start, all kinds) and "run.<kind>" (start → finish).
 	hists map[string]*Histogram
+
+	// solver aggregates per-solve CG statistics keyed by
+	// preconditioner kind ("jacobi", "mg").
+	solver map[string]*SolverStats
+}
+
+// SolverStats aggregates the CG solves that ran under one
+// preconditioner kind: how many, their total iteration count (the
+// mean is Iterations/Solves) and the single worst solve. A healthy
+// multigrid deployment shows mg mean iterations well below jacobi's
+// at comparable grids.
+type SolverStats struct {
+	Solves        uint64 `json:"solves"`
+	Iterations    uint64 `json:"iterations"`
+	MaxIterations int    `json:"max_iterations"`
 }
 
 func newMetrics() *metrics {
-	return &metrics{hists: map[string]*Histogram{"queue": newHistogram()}}
+	return &metrics{
+		hists:  map[string]*Histogram{"queue": newHistogram()},
+		solver: make(map[string]*SolverStats),
+	}
+}
+
+// observeSolve records one steady-state CG solve; it matches the
+// core.Planner OnSolve hook.
+func (m *metrics) observeSolve(st thermal.SolveStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.solver[st.Preconditioner]
+	if s == nil {
+		s = &SolverStats{}
+		m.solver[st.Preconditioner] = s
+	}
+	s.Solves++
+	s.Iterations += uint64(st.Iterations)
+	if st.Iterations > s.MaxIterations {
+		s.MaxIterations = st.Iterations
+	}
 }
 
 func (m *metrics) observe(stage string, d time.Duration) {
@@ -127,6 +162,10 @@ type Snapshot struct {
 	// LatencyS maps stage name ("queue", "run.plan", "run.cosim",
 	// "run.sweep") to its histogram.
 	LatencyS map[string]*Histogram `json:"latency_s"`
+
+	// Solver maps preconditioner kind ("jacobi", "mg") to aggregate
+	// CG iteration statistics for every steady solve the planner ran.
+	Solver map[string]*SolverStats `json:"solver"`
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -147,6 +186,11 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	for name, h := range m.hists {
 		s.LatencyS[name] = h.clone()
+	}
+	s.Solver = make(map[string]*SolverStats, len(m.solver))
+	for kind, st := range m.solver {
+		c := *st
+		s.Solver[kind] = &c
 	}
 	return s
 }

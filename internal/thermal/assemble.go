@@ -16,8 +16,10 @@ type System struct {
 	Diag     []float64
 	Capacity []float64 // heat capacity per node (J/K), for transients
 	model    *Model
-	ambientG []float64 // conductance to ambient per node (W/K)
-	rowSum   []float64 // per-row sums of G, for ColdStartResidual
+	ambientG []float64  // conductance to ambient per node (W/K)
+	rowSum   []float64  // per-row sums of G, for ColdStartResidual
+	invDiag  []float64  // 1/Diag, built once at assembly for the CG preconditioner
+	mg       *Multigrid // lazily built multigrid hierarchy, cached with the system
 }
 
 // coo is a temporary triplet accumulator keyed by (row, col).
@@ -210,6 +212,13 @@ func Assemble(m *Model) (*System, error) {
 	sys.RefreshQ(acc.ambient)
 	// Keep ambient conductances for later Q refreshes.
 	sys.ambientG = acc.ambient
+	// Invert the diagonal once here instead of on every solve: warm
+	// sweeps re-solve a cached system hundreds of times, and the
+	// validation doubles as the disconnected-from-ambient check.
+	var err error
+	if sys.invDiag, err = invertDiag(sys.Diag); err != nil {
+		return nil, err
+	}
 	return sys, nil
 }
 

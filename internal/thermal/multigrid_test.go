@@ -1,0 +1,189 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// mgStack builds a 4-layer stack (die/TIM/spreader/lid) with a
+// hotspot-heavy power map; withExtras adds a board node coupled to the
+// die layer and a periphery node on the spreader edge — the lumped
+// topology the heatsink path uses.
+func mgStack(nx, ny int, withExtras bool) *Model {
+	g := Grid{NX: nx, NY: ny, W: 0.02, H: 0.02}
+	p := make([]float64, g.Cells())
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			p[j*nx+i] = 40.0 / float64(g.Cells())
+			if i < nx/4 && j < ny/4 {
+				p[j*nx+i] *= 8 // hotspot in one corner
+			}
+		}
+	}
+	m := &Model{
+		Grid:     g,
+		AmbientC: 25,
+		Layers: []Layer{
+			{Name: "die", Thickness: 0.3e-3, K: 120, VolHeatCap: 1.75e6, Power: p},
+			{Name: "tim", Thickness: 50e-6, K: 4, VolHeatCap: 2e6},
+			{Name: "spreader", Thickness: 1e-3, K: 390, VolHeatCap: 3.4e6},
+			{Name: "lid", Thickness: 2e-3, K: 200, VolHeatCap: 3.4e6, TopCoeff: 800},
+		},
+	}
+	if withExtras {
+		m.Extras = []Extra{
+			{Name: "board", AmbientG: 0.8, Cap: 50},
+			{Name: "periphery", AmbientG: 0.3, Cap: 10},
+		}
+		m.Couplings = []Coupling{
+			{ExtraA: 0, ExtraB: -1, Layer: 0, G: 2.0},
+			{ExtraA: 1, ExtraB: -1, Layer: 2, G: 1.5, EdgeOnly: true},
+			{ExtraA: 0, ExtraB: 1, G: 0.2},
+		}
+	}
+	return m
+}
+
+// solveWith assembles the model and solves it with the named
+// preconditioner, returning the field and the iteration count.
+func solveWith(t *testing.T, m *Model, kind string) ([]float64, SolveStats) {
+	t.Helper()
+	sys, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := sys.SelectPreconditioner(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats SolveStats
+	x, err := sys.SolveSteady(SolveOptions{Tol: 1e-8, Precond: prec, Stats: &stats})
+	if err != nil {
+		t.Fatalf("%s solve: %v", kind, err)
+	}
+	return x, stats
+}
+
+// TestMultigridMatchesJacobi checks the acceptance contract: the MG
+// and Jacobi paths must agree within solver tolerance — the
+// preconditioner changes the iteration, never the answer.
+func TestMultigridMatchesJacobi(t *testing.T) {
+	for _, withExtras := range []bool{false, true} {
+		xj, sj := solveWith(t, mgStack(32, 32, withExtras), PrecondJacobi)
+		xm, sm := solveWith(t, mgStack(32, 32, withExtras), PrecondMG)
+		if sj.Preconditioner != PrecondJacobi || sm.Preconditioner != PrecondMG {
+			t.Fatalf("stats report %q / %q", sj.Preconditioner, sm.Preconditioner)
+		}
+		var maxDiff, maxRise float64
+		for i := range xj {
+			maxDiff = math.Max(maxDiff, math.Abs(xj[i]-xm[i]))
+			maxRise = math.Max(maxRise, xj[i]-25)
+		}
+		if maxDiff > 1e-4*maxRise {
+			t.Errorf("extras=%v: fields differ by %.3e (max rise %.3f)", withExtras, maxDiff, maxRise)
+		}
+		if sm.Iterations >= sj.Iterations {
+			t.Errorf("extras=%v: MG took %d iterations, Jacobi %d — no preconditioning win",
+				withExtras, sm.Iterations, sj.Iterations)
+		}
+		t.Logf("extras=%v: jacobi %d iters, mg %d iters, maxdiff %.2e",
+			withExtras, sj.Iterations, sm.Iterations, maxDiff)
+	}
+}
+
+// TestMultigridIterationGrowth verifies near-grid-independence: the MG
+// iteration count must stay within 2× as the in-plane grid refines
+// 32 → 64 → 128 per axis (Jacobi roughly doubles per refinement).
+func TestMultigridIterationGrowth(t *testing.T) {
+	var iters []int
+	for _, n := range []int{32, 64, 128} {
+		_, stats := solveWith(t, mgStack(n, n, true), PrecondMG)
+		iters = append(iters, stats.Iterations)
+		t.Logf("%dx%d: %d MG iterations", n, n, stats.Iterations)
+	}
+	for i := 1; i < len(iters); i++ {
+		if iters[i] > 2*iters[0] {
+			t.Errorf("iterations grew from %d to %d across refinement — not grid-independent", iters[0], iters[i])
+		}
+	}
+}
+
+// TestMultigridHierarchyCached checks the hierarchy is built once per
+// system and reused across solves.
+func TestMultigridHierarchyCached(t *testing.T) {
+	sys, err := Assemble(mgStack(32, 32, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg1, err := sys.Multigrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg2, err := sys.Multigrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg1 != mg2 {
+		t.Error("Multigrid() rebuilt the hierarchy instead of reusing it")
+	}
+	if mg1.Levels() < 3 {
+		t.Errorf("expected a real hierarchy for 32x32, got %d levels", mg1.Levels())
+	}
+}
+
+// TestMultigridSemicoarsening exercises a skewed grid where only one
+// in-plane dimension is coarsenable.
+func TestMultigridSemicoarsening(t *testing.T) {
+	m := mgStack(4, 64, false)
+	xj, _ := solveWith(t, m, PrecondJacobi)
+	xm, _ := solveWith(t, mgStack(4, 64, false), PrecondMG)
+	for i := range xj {
+		if math.Abs(xj[i]-xm[i]) > 1e-4*(1+xj[i]-25) {
+			t.Fatalf("node %d: jacobi %.6f vs mg %.6f", i, xj[i], xm[i])
+		}
+	}
+}
+
+// TestSelectPreconditioner covers the kind dispatch: auto picks
+// Jacobi below the threshold and MG above it, and unknown kinds fail.
+func TestSelectPreconditioner(t *testing.T) {
+	small, err := Assemble(mgStack(16, 16, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := small.SelectPreconditioner(PrecondAuto); err != nil || p != nil {
+		t.Errorf("auto on a small grid: got %v, %v; want Jacobi (nil)", p, err)
+	}
+	if p, err := small.SelectPreconditioner(PrecondJacobi); err != nil || p != nil {
+		t.Errorf("jacobi: got %v, %v", p, err)
+	}
+	if p, err := small.SelectPreconditioner(PrecondMG); err != nil || p == nil {
+		t.Errorf("mg: got %v, %v", p, err)
+	}
+	big, err := Assemble(mgStack(128, 128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := big.SelectPreconditioner(""); err != nil || p == nil {
+		t.Errorf("auto on a large grid: got %v, %v; want multigrid", p, err)
+	}
+	if _, err := small.SelectPreconditioner("ilu"); err == nil {
+		t.Error("unknown preconditioner kind accepted")
+	}
+}
+
+// TestMultigridTransientCompatible makes sure hoisted invDiag plays
+// well with the transient stepper's hand-built shifted system.
+func TestMultigridTransientCompatible(t *testing.T) {
+	sys, err := Assemble(mgStack(16, 16, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStepper(sys, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -62,6 +62,9 @@ func (st *Stepper) buildShifted() *System {
 		dst.Val[src.RowPtr[r]] += shift
 		dst.Diag[r] += shift
 	}
+	// C/Δt ≥ 0 on top of a valid steady diagonal keeps it positive, so
+	// this cannot fail when the source system assembled cleanly.
+	dst.invDiag, _ = invertDiag(dst.Diag)
 	return dst
 }
 
