@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestOperationsDocCoversSurface keeps OPERATIONS.md honest: every
+// flag registered and every route mounted in this package must be
+// mentioned in the runbook, so the doc cannot silently rot as the
+// surface grows.
+func TestOperationsDocCoversSurface(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("OPERATIONS.md must exist at the repo root: %v", err)
+	}
+
+	flagRE := regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64)\("([a-z-]+)"`)
+	var flags []string
+	for _, m := range flagRE.FindAllStringSubmatch(string(src), -1) {
+		flags = append(flags, m[1])
+	}
+	if len(flags) < 5 {
+		t.Fatalf("flag scrape found only %v — regexp out of date?", flags)
+	}
+	for _, f := range flags {
+		if !regexp.MustCompile("`-" + f + "`").Match(doc) {
+			t.Errorf("flag -%s is not documented in OPERATIONS.md", f)
+		}
+	}
+
+	routeRE := regexp.MustCompile(`mux\.Handle(?:Func)?\("(?:GET|POST|DELETE) ([^"]+)"`)
+	var routes []string
+	for _, m := range routeRE.FindAllStringSubmatch(string(src), -1) {
+		routes = append(routes, m[1])
+	}
+	if len(routes) < 8 {
+		t.Fatalf("route scrape found only %v — regexp out of date?", routes)
+	}
+	for _, r := range routes {
+		// The pprof sub-handlers are documented via their index.
+		if len(r) > len("/debug/pprof/") && r[:len("/debug/pprof/")] == "/debug/pprof/" {
+			r = "/debug/pprof/"
+		}
+		if !regexp.MustCompile(regexp.QuoteMeta(r)).Match(doc) {
+			t.Errorf("endpoint %s is not documented in OPERATIONS.md", r)
+		}
+	}
+
+	codeRE := regexp.MustCompile(`errCode[A-Za-z]+\s+= "([a-z_]+)"`)
+	var codes []string
+	for _, m := range codeRE.FindAllStringSubmatch(string(src), -1) {
+		codes = append(codes, m[1])
+	}
+	if len(codes) < 8 {
+		t.Fatalf("error-code scrape found only %v — regexp out of date?", codes)
+	}
+	for _, c := range codes {
+		if !regexp.MustCompile("`" + c + "`").Match(doc) {
+			t.Errorf("error code %q is not documented in OPERATIONS.md", c)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	watersrvd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
 //	          [-sync-timeout 120s] [-drain-timeout 30s] [-pprof]
+//	          [-job-deadline 5m] [-max-queue-wait 1m] [-fault spec]
 //
 // Endpoints:
 //
@@ -28,6 +29,16 @@
 // SIGTERM stop the listener and drain in-flight jobs for up to
 // -drain-timeout before exit.
 //
+// Robustness: every job runs under the -job-deadline wall-clock
+// budget (a stalled solve fails with deadline_exceeded instead of
+// wedging a worker), a panicking solve fails only its own job
+// (panics_recovered in /v1/metrics), and once the queue is at depth
+// or the predicted wait exceeds -max-queue-wait the daemon sheds
+// load: 429/503 with a Retry-After header sized from the engine's
+// run-time EWMA. -fault arms the internal/faultinject failpoints for
+// staging drills — never in production. See OPERATIONS.md for the
+// runbook.
+//
 // Every error response carries the JSON envelope
 // {"error": {"code": "...", "message": "..."}} with a stable
 // machine-readable code (see the errCode* constants); clients switch
@@ -41,14 +52,17 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"waterimm/internal/api"
+	"waterimm/internal/faultinject"
 	"waterimm/internal/service"
 )
 
@@ -60,6 +74,9 @@ var (
 	flagSyncTimeout  = flag.Duration("sync-timeout", 120*time.Second, "max wait of the synchronous endpoints")
 	flagDrainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	flagPprof        = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	flagJobDeadline  = flag.Duration("job-deadline", 5*time.Minute, "per-job wall-clock budget, queue wait included (0 = unlimited)")
+	flagMaxQueueWait = flag.Duration("max-queue-wait", time.Minute, "queue-wait budget before load shedding kicks in (0 = never shed)")
+	flagFault        = flag.String("fault", "", "dev-only fault injection spec, e.g. 'thermal.cg.iteration=stall:delay=2s' (see internal/faultinject)")
 )
 
 // server binds the engine to the HTTP surface.
@@ -114,13 +131,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // These are API surface: clients dispatch on them, so changing one is
 // a breaking change.
 const (
-	errCodeBadRequest      = "bad_request"      // malformed body or envelope
-	errCodeInvalidArgument = "invalid_argument" // well-formed but failed validation
-	errCodeQueueFull       = "queue_full"       // job queue at capacity, retry later
-	errCodeUnavailable     = "unavailable"      // engine draining or shut down
-	errCodeNotFound        = "not_found"        // unknown job ID
-	errCodeCanceled        = "canceled"         // job was cancelled before finishing
-	errCodeInternal        = "internal"         // simulation failed
+	errCodeBadRequest      = "bad_request"       // malformed body or envelope
+	errCodeInvalidArgument = "invalid_argument"  // well-formed but failed validation
+	errCodeQueueFull       = "queue_full"        // job queue at capacity (429), retry after Retry-After
+	errCodeOverloaded      = "overloaded"        // predicted queue wait over budget (503), retry after Retry-After
+	errCodeShed            = "shed"              // accepted job dropped after overstaying the queue (429)
+	errCodeDeadline        = "deadline_exceeded" // job ran out of its -job-deadline budget (504)
+	errCodeUnavailable     = "unavailable"       // engine draining or shut down (503)
+	errCodeNotFound        = "not_found"         // unknown job ID
+	errCodeCanceled        = "canceled"          // job was cancelled before finishing
+	errCodeInternal        = "internal"          // simulation failed (includes recovered panics)
 )
 
 // errorDetail is the inner object of the error envelope.
@@ -139,18 +159,49 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
-// submitError maps a Submit failure onto an HTTP status and error
-// code. Submit fails on validation (the request is wrong) or on
-// capacity (the service is busy or draining); the code tells the
-// client which retry policy applies.
-func submitError(err error) (int, string) {
+// setRetryAfter adds a Retry-After header (whole seconds, rounded
+// up) when the engine supplied a back-off hint.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	if d > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.Seconds()))))
+	}
+}
+
+// submitError maps a Submit failure onto an HTTP status, error code
+// and Retry-After hint. Submit fails on validation (the request is
+// wrong) or on capacity (the service is busy or draining); the code
+// tells the client which retry policy applies: 429 means this
+// request was turned away, 503 means the service as a whole has no
+// capacity right now — both carry Retry-After.
+func submitError(err error) (status int, code string, retryAfter time.Duration) {
+	var ov *service.OverloadError
+	if errors.As(err, &ov) {
+		retryAfter = ov.RetryAfter
+	}
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
-		return http.StatusServiceUnavailable, errCodeQueueFull
+		return http.StatusTooManyRequests, errCodeQueueFull, retryAfter
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusServiceUnavailable, errCodeOverloaded, retryAfter
 	case errors.Is(err, service.ErrClosed):
-		return http.StatusServiceUnavailable, errCodeUnavailable
+		return http.StatusServiceUnavailable, errCodeUnavailable, time.Second
 	default:
-		return http.StatusBadRequest, errCodeInvalidArgument
+		return http.StatusBadRequest, errCodeInvalidArgument, 0
+	}
+}
+
+// failureStatus maps a failed job's stable service code onto the
+// response status and envelope code. Recovered panics surface as
+// internal — the code is in the job snapshot for the curious, but
+// clients retry panics exactly like any other internal failure.
+func failureStatus(in service.JobInfo) (int, string) {
+	switch in.ErrorCode {
+	case service.CodeDeadline:
+		return http.StatusGatewayTimeout, errCodeDeadline
+	case service.CodeShed:
+		return http.StatusTooManyRequests, errCodeShed
+	default:
+		return http.StatusInternalServerError, errCodeInternal
 	}
 }
 
@@ -182,7 +233,8 @@ func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 	}
 	in, err := s.engine.Submit(req)
 	if err != nil {
-		status, code := submitError(err)
+		status, code, retryAfter := submitError(err)
+		setRetryAfter(w, retryAfter)
 		writeError(w, status, code, err)
 		return
 	}
@@ -205,7 +257,11 @@ func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 	case service.StateCanceled:
 		writeError(w, http.StatusConflict, errCodeCanceled, fmt.Errorf("job %s was cancelled", got.ID))
 	default:
-		writeError(w, http.StatusInternalServerError, errCodeInternal, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
+		status, code := failureStatus(got)
+		if code == errCodeShed {
+			setRetryAfter(w, s.engine.RetryAfterHint())
+		}
+		writeError(w, status, code, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
 	}
 }
 
@@ -222,7 +278,8 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	in, err := s.engine.Submit(req)
 	if err != nil {
-		status, code := submitError(err)
+		status, code, retryAfter := submitError(err)
+		setRetryAfter(w, retryAfter)
 		writeError(w, status, code, err)
 		return
 	}
@@ -267,10 +324,22 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 
 func main() {
 	flag.Parse()
+	if *flagFault != "" {
+		// Staging drills only: armed failpoints make the daemon fail
+		// on purpose. The banner keeps an armed binary from passing
+		// for healthy in a production log.
+		if err := faultinject.ArmSpec(*flagFault); err != nil {
+			fmt.Fprintln(os.Stderr, "watersrvd:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "watersrvd: FAULT INJECTION ARMED (%s) — not for production\n", *flagFault)
+	}
 	engine := service.New(service.Config{
 		Workers:      *flagWorkers,
 		QueueDepth:   *flagQueue,
 		CacheEntries: *flagCache,
+		JobDeadline:  *flagJobDeadline,
+		MaxQueueWait: *flagMaxQueueWait,
 	})
 	expvar.Publish("watersrvd", expvar.Func(func() any { return engine.Metrics() }))
 

@@ -1,24 +1,3 @@
-// Package api defines the canonical JSON schema of the simulation
-// service: request and response types for the three workloads —
-// a *plan* request (max-frequency search via core.Planner), a
-// *cosim* request (performance↔thermal co-simulation via cosim.Run)
-// and a *sweep* request (a batched cartesian product of plan cells)
-// — plus validation and a deterministic canonicalization that hashes
-// every request to a stable SHA-256 cache key.
-//
-// Canonicalization rules (these define cache-key identity, so they
-// are versioned by SchemaVersion and must only change with a bump):
-//
-//  1. Normalize fills every defaultable field with its documented
-//     default and resolves chip-name aliases (lp → low-power,
-//     hf → high-frequency), so a request that spells a default out
-//     explicitly and one that omits it are the same request.
-//  2. The normalized struct is serialized with encoding/json, whose
-//     struct-field order is declaration order — deterministic for a
-//     fixed schema.
-//  3. The key is hex(SHA-256("waterimm/v<version>/<kind>\x00" ||
-//     canonical JSON)). The kind prefix keeps a plan and a cosim
-//     request with coincidentally identical JSON from colliding.
 package api
 
 import (

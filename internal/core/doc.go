@@ -1,0 +1,17 @@
+// Package core implements the paper's central methodology: choosing
+// the maximum operating frequency of a temperature-constrained 3-D
+// chip multiprocessor for a given coolant, by co-simulating the VFS
+// power model (internal/power, internal/mcpat) with the HotSpot-style
+// thermal solver (internal/thermal) over the compiled cooling stack
+// (internal/stack). It also hosts the experiment drivers that
+// regenerate every figure and table of the paper (experiments.go).
+//
+// The Planner is the unit of work the serving layer schedules: one
+// Plan call binds a chip model, a stack/coolant configuration and a
+// temperature threshold, then binary-searches the VFS ladder for the
+// fastest step whose steady-state peak temperature stays under the
+// threshold, optionally iterating the leakage↔temperature fixed
+// point to convergence. Its OnSolve hook reports per-solve CG
+// statistics to the caller (the service layer feeds them into its
+// metrics registry).
+package core

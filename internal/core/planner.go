@@ -1,10 +1,3 @@
-// Package core implements the paper's central methodology: choosing
-// the maximum operating frequency of a temperature-constrained 3-D
-// chip multiprocessor for a given coolant, by co-simulating the VFS
-// power model (internal/power, internal/mcpat) with the HotSpot-style
-// thermal solver (internal/thermal) over the compiled cooling stack
-// (internal/stack). It also hosts the experiment drivers that
-// regenerate every figure and table of the paper (experiments.go).
 package core
 
 import (

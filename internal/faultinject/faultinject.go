@@ -1,0 +1,305 @@
+// Package faultinject provides named failpoints for testing how the
+// serving stack degrades under induced failure: a solver assembly
+// that errors, a CG iteration that stalls, a worker that panics, a
+// result-cache lookup that misbehaves. Production code threads a
+// Hit(ctx, site) call through each interesting code path; the call is
+// a single atomic load when nothing is armed, so shipping the sites
+// costs nothing.
+//
+// Sites are armed programmatically (tests) or from a spec string (the
+// watersrvd -fault dev flag):
+//
+//	faultinject.Arm(faultinject.SiteExecute, faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
+//	faultinject.ArmSpec("thermal.cg.iteration=stall:delay=2s, service.execute=error:p=0.01")
+//
+// An armed site fires according to its Fault: always, with
+// probability p, after skipping the first N hits, and at most Times
+// times (after which it disarms itself). What firing does depends on
+// the kind: KindError makes Hit return an error wrapping ErrInjected,
+// KindPanic makes Hit panic (exercising recovery paths), and
+// KindStall makes Hit sleep for Delay — respecting the caller's
+// context, so a stalled solve still honors deadlines and
+// cancellation.
+//
+// The registry is process-global on purpose: faults must reach code
+// deep inside internal/thermal and internal/service without threading
+// test-only plumbing through every constructor. Tests that arm sites
+// must Reset afterwards and must not run in parallel with each other.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The failpoint sites compiled into the serving stack. Arming a name
+// outside this list is allowed (sites are just strings), it simply
+// never fires.
+const (
+	// SiteAssemble fires inside thermal.Assemble before the
+	// conductance matrix is built; an error here fails the solve the
+	// way a malformed model would.
+	SiteAssemble = "thermal.assemble"
+	// SiteCGIteration fires at the CG loop's poll points (every 8th
+	// iteration); a stall here simulates a wedged solve and must be
+	// cut short by the job deadline.
+	SiteCGIteration = "thermal.cg.iteration"
+	// SiteExecute fires on a worker goroutine just before a job's
+	// solver dispatch; a panic here exercises the worker pool's
+	// recovery path.
+	SiteExecute = "service.execute"
+	// SiteCacheLookup fires on a result-cache probe; the engine
+	// degrades a fired lookup into a cache miss (recompute, never
+	// serve a suspect entry).
+	SiteCacheLookup = "service.cache.lookup"
+)
+
+// ErrInjected is wrapped by every error an armed KindError site
+// returns; errors.Is(err, ErrInjected) identifies induced failures.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Kind is what a site does when it fires.
+type Kind int
+
+const (
+	// KindError makes Hit return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes Hit panic with a recognizable message.
+	KindPanic
+	// KindStall makes Hit block for Delay or until the caller's
+	// context fires, whichever is first; the context's error is
+	// returned if it cut the stall short, nil otherwise.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault configures an armed site. The zero value fires an error on
+// every hit.
+type Fault struct {
+	Kind Kind
+	// Probability in (0, 1] is the chance each eligible hit fires;
+	// 0 means always (probability 1).
+	Probability float64
+	// After skips the first After eligible hits before firing.
+	After int
+	// Times caps how often the site fires; 0 means unlimited. A site
+	// that exhausts its Times disarms itself.
+	Times int
+	// Delay is the stall duration for KindStall (default 1s).
+	Delay time.Duration
+}
+
+type armedSite struct {
+	fault Fault
+	hits  int // eligible Hit calls observed
+	fired int // times the fault actually fired
+}
+
+var (
+	// armedCount is the fast-path gate: Hit returns immediately while
+	// it is zero, so disarmed failpoints cost one atomic load.
+	armedCount atomic.Int32
+
+	mu    sync.Mutex
+	sites = map[string]*armedSite{}
+	rng   = rand.New(rand.NewSource(1))
+)
+
+// Arm installs (or replaces) the fault at a site.
+func Arm(site string, f Fault) {
+	if f.Probability <= 0 || f.Probability > 1 {
+		f.Probability = 1
+	}
+	if f.Kind == KindStall && f.Delay <= 0 {
+		f.Delay = time.Second
+	}
+	mu.Lock()
+	if _, ok := sites[site]; !ok {
+		armedCount.Add(1)
+	}
+	sites[site] = &armedSite{fault: f}
+	mu.Unlock()
+}
+
+// Disarm removes a site's fault; unknown sites are a no-op.
+func Disarm(site string) {
+	mu.Lock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site and reseeds the probability source;
+// test cleanup should always call it.
+func Reset() {
+	mu.Lock()
+	armedCount.Add(-int32(len(sites)))
+	sites = map[string]*armedSite{}
+	rng = rand.New(rand.NewSource(1))
+	mu.Unlock()
+}
+
+// Seed reseeds the source behind probabilistic faults so drills are
+// reproducible.
+func Seed(seed int64) {
+	mu.Lock()
+	rng = rand.New(rand.NewSource(seed))
+	mu.Unlock()
+}
+
+// Fired reports how many times a site's fault has fired since it was
+// armed (0 for unarmed sites).
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := sites[site]; ok {
+		return s.fired
+	}
+	return 0
+}
+
+// Enabled reports whether any site is currently armed.
+func Enabled() bool { return armedCount.Load() > 0 }
+
+// Hit is the failpoint: production code calls it at each named site
+// and propagates the returned error. While nothing is armed it is a
+// single atomic load. ctx may be nil for sites with no context; it
+// only matters to stalls.
+func Hit(ctx context.Context, site string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if s.hits <= s.fault.After {
+		mu.Unlock()
+		return nil
+	}
+	if s.fault.Probability < 1 && rng.Float64() >= s.fault.Probability {
+		mu.Unlock()
+		return nil
+	}
+	s.fired++
+	f := s.fault
+	if f.Times > 0 && s.fired >= f.Times {
+		delete(sites, site)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+
+	switch f.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	case KindStall:
+		return stall(ctx, f.Delay)
+	default:
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+}
+
+// stall blocks for d or until ctx fires. A stall the context cut
+// short returns the context's error (the caller is being cancelled
+// mid-hang); a stall that runs its course returns nil (the hang
+// resolved by itself).
+func stall(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return fmt.Errorf("faultinject: stall interrupted: %w", ctx.Err())
+	}
+}
+
+// ArmSpec arms every site in a spec string, the -fault dev-flag
+// syntax: comma-separated site=kind entries, each with optional
+// colon-separated parameters.
+//
+//	site=error                 fail every hit
+//	site=error:p=0.1           fail 10% of hits
+//	site=panic:times=1         panic once, then disarm
+//	site=stall:delay=2s:after=5:times=3
+//
+// Kinds are error, panic, stall; parameters are p (probability),
+// after, times, delay (a Go duration, stall only).
+func ArmSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(entry, "=")
+		if !ok || site == "" {
+			return fmt.Errorf("faultinject: bad spec %q (want site=kind[:param=value]...)", entry)
+		}
+		parts := strings.Split(rest, ":")
+		f := Fault{}
+		switch parts[0] {
+		case "error":
+			f.Kind = KindError
+		case "panic":
+			f.Kind = KindPanic
+		case "stall":
+			f.Kind = KindStall
+		default:
+			return fmt.Errorf("faultinject: bad kind %q in %q (want error, panic or stall)", parts[0], entry)
+		}
+		for _, p := range parts[1:] {
+			key, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return fmt.Errorf("faultinject: bad parameter %q in %q", p, entry)
+			}
+			var err error
+			switch key {
+			case "p":
+				f.Probability, err = strconv.ParseFloat(val, 64)
+				if err == nil && (f.Probability <= 0 || f.Probability > 1) {
+					err = fmt.Errorf("probability %v out of (0, 1]", f.Probability)
+				}
+			case "after":
+				f.After, err = strconv.Atoi(val)
+			case "times":
+				f.Times, err = strconv.Atoi(val)
+			case "delay":
+				f.Delay, err = time.ParseDuration(val)
+			default:
+				err = fmt.Errorf("unknown parameter %q", key)
+			}
+			if err != nil {
+				return fmt.Errorf("faultinject: bad parameter %q in %q: %v", p, entry, err)
+			}
+		}
+		Arm(strings.TrimSpace(site), f)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	t.Cleanup(Reset)
+	if Enabled() {
+		t.Fatal("sites armed at start")
+	}
+	if err := Hit(nil, SiteExecute); err != nil {
+		t.Fatalf("disarmed hit: %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteAssemble, Fault{Kind: KindError})
+	err := Hit(nil, SiteAssemble)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed hit: %v", err)
+	}
+	if !strings.Contains(err.Error(), SiteAssemble) {
+		t.Fatalf("error does not name the site: %v", err)
+	}
+	if err := Hit(nil, SiteExecute); err != nil {
+		t.Fatalf("other site fired: %v", err)
+	}
+	Disarm(SiteAssemble)
+	if err := Hit(nil, SiteAssemble); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SiteExecute, Fault{Kind: KindPanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(r.(string), SiteExecute) {
+			t.Fatalf("panic message %q does not name the site", r)
+		}
+	}()
+	Hit(nil, SiteExecute)
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("x", Fault{Kind: KindError, After: 2, Times: 2})
+	var fails int
+	for i := 0; i < 10; i++ {
+		if Hit(nil, "x") != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("fired %d times, want 2 (skip 2, fire 2, then self-disarm)", fails)
+	}
+	if Enabled() {
+		t.Fatal("exhausted site did not disarm itself")
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	t.Cleanup(Reset)
+	Seed(42)
+	Arm("p", Fault{Kind: KindError, Probability: 0.3})
+	var fails int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Hit(nil, "p") != nil {
+			fails++
+		}
+	}
+	if fails < n/5 || fails > n/2 {
+		t.Fatalf("p=0.3 fired %d/%d times", fails, n)
+	}
+	if Fired("p") != fails {
+		t.Fatalf("Fired %d, observed %d", Fired("p"), fails)
+	}
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("s", Fault{Kind: KindStall, Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Hit(ctx, "s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted stall: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall ignored the context")
+	}
+}
+
+func TestStallRunsItsCourse(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("s", Fault{Kind: KindStall, Delay: 5 * time.Millisecond})
+	if err := Hit(context.Background(), "s"); err != nil {
+		t.Fatalf("completed stall: %v", err)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	t.Cleanup(Reset)
+	err := ArmSpec("thermal.assemble=error:p=0.5:after=1, service.execute=panic:times=1,x=stall:delay=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	a, s := sites[SiteAssemble], sites["x"]
+	p := sites[SiteExecute]
+	mu.Unlock()
+	if a == nil || a.fault.Probability != 0.5 || a.fault.After != 1 || a.fault.Kind != KindError {
+		t.Fatalf("assemble site: %+v", a)
+	}
+	if p == nil || p.fault.Kind != KindPanic || p.fault.Times != 1 {
+		t.Fatalf("execute site: %+v", p)
+	}
+	if s == nil || s.fault.Kind != KindStall || s.fault.Delay != 250*time.Millisecond {
+		t.Fatalf("stall site: %+v", s)
+	}
+}
+
+func TestArmSpecRejectsGarbage(t *testing.T) {
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"nosite",
+		"x=explode",
+		"x=error:p=2",
+		"x=error:p=nope",
+		"x=stall:delay=soon",
+		"x=error:bogus=1",
+		"x=error:times",
+	} {
+		if err := ArmSpec(spec); err == nil {
+			t.Errorf("ArmSpec(%q) accepted", spec)
+		}
+		Reset()
+	}
+}
+
+// TestConcurrentHits exercises the registry under the race detector.
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm("c", Fault{Kind: KindError, Probability: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Hit(nil, "c")
+				Hit(nil, "other")
+			}
+		}()
+	}
+	wg.Wait()
+	if Fired("c") == 0 {
+		t.Fatal("site never fired")
+	}
+}

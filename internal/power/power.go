@@ -1,19 +1,3 @@
-// Package power models voltage-and-frequency scaling (VFS) and the
-// resulting chip power consumption for the four processor models the
-// paper studies: the baseline low-power and high-frequency 16-tile
-// CMPs (McPAT-derived, Table 1), the Intel Xeon E5-2667v4 and the
-// Intel Xeon Phi 7290.
-//
-// Frequency maps to supply voltage through the alpha-power law used in
-// Section 3.1:
-//
-//	Tdelay ∝ C·V / (V − Vth)^α
-//
-// with α = 1.3 (velocity-saturation index of a short-channel MOSFET)
-// and V, Vth taken from the 22 nm technology description. Power at a
-// VFS step splits into dynamic power ∝ V²·f and static (leakage)
-// power ∝ V, optionally with an exponential temperature dependence
-// used by the leakage-aware planner iteration.
 package power
 
 import (

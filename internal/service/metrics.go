@@ -68,13 +68,23 @@ func (h *Histogram) clone() *Histogram {
 type metrics struct {
 	mu sync.Mutex
 
-	jobsSubmitted uint64
-	jobsDone      uint64
-	jobsFailed    uint64
-	jobsCanceled  uint64
-	cacheHits     uint64
-	cacheMisses   uint64
-	dedupHits     uint64
+	jobsSubmitted    uint64
+	jobsDone         uint64
+	jobsFailed       uint64
+	jobsCanceled     uint64
+	jobsShed         uint64
+	jobsDeadline     uint64
+	panicsRecovered  uint64
+	queueFullRejects uint64
+	overloadRejects  uint64
+	cacheHits        uint64
+	cacheMisses      uint64
+	dedupHits        uint64
+
+	// runEWMAS is an exponentially weighted moving average of job run
+	// times in seconds (α = 0.2), the basis of the engine's queue-wait
+	// prediction and Retry-After hints.
+	runEWMAS float64
 
 	// hists holds per-stage latency histograms: "queue" (submit →
 	// start, all kinds) and "run.<kind>" (start → finish).
@@ -123,12 +133,38 @@ func (m *metrics) observeSolve(st thermal.SolveStats) {
 func (m *metrics) observe(stage string, d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.observeLocked(stage, d)
+}
+
+func (m *metrics) observeLocked(stage string, d time.Duration) {
 	h := m.hists[stage]
 	if h == nil {
 		h = newHistogram()
 		m.hists[stage] = h
 	}
 	h.observe(d)
+}
+
+// observeRun records a finished job's run stage and folds it into
+// the run-time EWMA behind load-shedding predictions.
+func (m *metrics) observeRun(kind string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observeLocked("run."+kind, d)
+	const alpha = 0.2
+	if m.runEWMAS == 0 {
+		m.runEWMAS = d.Seconds()
+	} else {
+		m.runEWMAS = alpha*d.Seconds() + (1-alpha)*m.runEWMAS
+	}
+}
+
+// runEWMA returns the current run-time EWMA in seconds (0 until the
+// first job finishes).
+func (m *metrics) runEWMA() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runEWMAS
 }
 
 func (m *metrics) add(counter *uint64, n uint64) {
@@ -146,6 +182,23 @@ type Snapshot struct {
 	JobsCanceled  uint64 `json:"jobs_canceled"`
 	JobsQueued    int    `json:"jobs_queued"`
 	JobsRunning   int    `json:"jobs_running"`
+
+	// Robustness counters. JobsShed are accepted jobs dropped at
+	// dequeue after overstaying the queue-wait budget;
+	// QueueFullRejects and OverloadRejects are submissions turned
+	// away at the door (queue at depth / predicted wait over budget).
+	// PanicsRecovered jobs are also counted in JobsFailed;
+	// JobsDeadlineExceeded and JobsShed are not.
+	JobsShed             uint64 `json:"jobs_shed"`
+	JobsDeadlineExceeded uint64 `json:"jobs_deadline_exceeded"`
+	PanicsRecovered      uint64 `json:"panics_recovered"`
+	QueueFullRejects     uint64 `json:"queue_full_rejects"`
+	OverloadRejects      uint64 `json:"overload_rejects"`
+
+	// RunEWMAS is the run-time EWMA in seconds; RetryAfterHintS is
+	// the back-off the engine currently suggests to shed clients.
+	RunEWMAS        float64 `json:"run_ewma_s"`
+	RetryAfterHintS float64 `json:"retry_after_hint_s"`
 
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
@@ -172,14 +225,20 @@ func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		JobsSubmitted: m.jobsSubmitted,
-		JobsDone:      m.jobsDone,
-		JobsFailed:    m.jobsFailed,
-		JobsCanceled:  m.jobsCanceled,
-		CacheHits:     m.cacheHits,
-		CacheMisses:   m.cacheMisses,
-		DedupHits:     m.dedupHits,
-		LatencyS:      make(map[string]*Histogram, len(m.hists)),
+		JobsSubmitted:        m.jobsSubmitted,
+		JobsDone:             m.jobsDone,
+		JobsFailed:           m.jobsFailed,
+		JobsCanceled:         m.jobsCanceled,
+		JobsShed:             m.jobsShed,
+		JobsDeadlineExceeded: m.jobsDeadline,
+		PanicsRecovered:      m.panicsRecovered,
+		QueueFullRejects:     m.queueFullRejects,
+		OverloadRejects:      m.overloadRejects,
+		RunEWMAS:             m.runEWMAS,
+		CacheHits:            m.cacheHits,
+		CacheMisses:          m.cacheMisses,
+		DedupHits:            m.dedupHits,
+		LatencyS:             make(map[string]*Histogram, len(m.hists)),
 	}
 	if total := m.cacheHits + m.cacheMisses; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)

@@ -1,24 +1,3 @@
-// Package service is the concurrent simulation-as-a-service engine
-// behind cmd/watersrvd: a bounded worker pool over an async job queue
-// with submit / status / result / cancel semantics, an LRU result
-// cache keyed by the canonical request hash (internal/api), in-flight
-// deduplication so identical concurrent requests share one
-// simulation, and a metrics registry (job counters, cache hit rate,
-// per-stage latency histograms).
-//
-// Job lifecycle:
-//
-//	Submit ──▶ queued ──▶ running ──▶ done
-//	   │          │           │  └──▶ failed
-//	   │          └───────────┴─────▶ canceled        (Cancel, timeout)
-//	   └─▶ done (cache hit: never queued)
-//
-// Identical requests — same canonical hash — are collapsed twice
-// over: a finished result is served from the LRU cache without
-// queueing, and a request identical to one still queued or running is
-// attached to that job (Submit returns the existing job's ID), so a
-// given configuration is never simulated twice concurrently.
-// Cancelling a shared job cancels it for every submitter.
 package service
 
 import (
@@ -26,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"waterimm/internal/api"
+	"waterimm/internal/faultinject"
 	"waterimm/internal/thermal"
 )
 
@@ -53,6 +34,20 @@ type Config struct {
 	// jobs that revisit a geometry — sweep cells, repeated plan
 	// requests — skip matrix assembly. Default 64.
 	AssemblyCacheEntries int
+	// JobDeadline is the wall-clock budget of every job, covering
+	// queue wait and execution: the job's context expires when it
+	// runs out, the solver abandons the iteration at its next poll
+	// point, and the job fails with ErrorCode "deadline_exceeded".
+	// 0 disables deadlines (the default).
+	JobDeadline time.Duration
+	// MaxQueueWait is the load-shedding budget. When set, Submit
+	// rejects new work with an *OverloadError while the predicted
+	// queue wait (queue depth × EWMA run time / workers) exceeds it,
+	// and a worker sheds any dequeued job that already waited longer
+	// (ErrorCode "shed") instead of burning a worker on a request the
+	// caller has likely given up on. 0 disables shedding (the
+	// default).
+	MaxQueueWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +91,51 @@ var (
 	ErrClosed     = errors.New("service: engine is shut down")
 	ErrUnknownJob = errors.New("service: unknown job")
 	ErrNotDone    = errors.New("service: job has not finished")
+	// ErrOverloaded rejects a Submit whose predicted queue wait
+	// exceeds Config.MaxQueueWait; always wrapped in *OverloadError.
+	ErrOverloaded = errors.New("service: predicted queue wait exceeds budget")
+	// ErrShed fails a queued job whose wait exceeded
+	// Config.MaxQueueWait before a worker reached it.
+	ErrShed = errors.New("service: job shed after queue wait budget")
+)
+
+// OverloadError is a load-shedding rejection from Submit. It wraps
+// the capacity sentinel (ErrQueueFull or ErrOverloaded) and carries
+// the engine's suggested client back-off, which the HTTP layer turns
+// into a Retry-After header.
+type OverloadError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (o *OverloadError) Error() string {
+	return fmt.Sprintf("%v; retry after %v", o.Err, o.RetryAfter)
+}
+
+func (o *OverloadError) Unwrap() error { return o.Err }
+
+// PanicError is a panic recovered from a job's execution. The worker
+// pool converts a panicking solve into the one job's failure —
+// recorded in metrics as panics_recovered — instead of letting it
+// kill the daemon.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("service: recovered panic: %v", p.Value)
+}
+
+// Stable per-job failure codes surfaced as JobInfo.ErrorCode; the
+// HTTP layer maps them onto the error envelope and status codes, so
+// changing one is a breaking change.
+const (
+	CodeCanceled = "canceled"          // job cancelled (Cancel, drain abort)
+	CodeDeadline = "deadline_exceeded" // Config.JobDeadline ran out
+	CodeShed     = "shed"              // load-shed after overstaying MaxQueueWait
+	CodePanic    = "panic"             // solver panicked; recovered by the worker
+	CodeInternal = "internal"          // simulation failed
 )
 
 // JobInfo is a point-in-time snapshot of a job.
@@ -113,6 +153,9 @@ type JobInfo struct {
 	// that Submit carries it.
 	Deduped bool   `json:"deduped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// ErrorCode classifies a failure with a stable machine code (the
+	// Code* constants); empty for done jobs.
+	ErrorCode string `json:"error_code,omitempty"`
 	// Progress is the per-cell completion state of a sweep job,
 	// updated live while the sweep runs; nil for other kinds.
 	Progress *api.SweepProgress `json:"progress,omitempty"`
@@ -137,6 +180,7 @@ type job struct {
 	state     State
 	cacheHit  bool
 	err       error
+	errCode   string
 	result    any
 	submitted time.Time
 	started   time.Time
@@ -158,6 +202,7 @@ func (j *job) info() JobInfo {
 	}
 	if j.err != nil {
 		in.Error = j.err.Error()
+		in.ErrorCode = j.errCode
 	}
 	if j.progress != nil {
 		p := *j.progress
@@ -243,7 +288,14 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 	}
 	e.metrics.add(&e.metrics.jobsSubmitted, 1)
 
-	if res, ok := e.cache.get(key); ok {
+	res, hit := e.cache.get(key)
+	// A fired cache-lookup failpoint degrades the hit into a miss:
+	// the engine recomputes rather than serve a suspect entry, so a
+	// flaky cache costs latency, never correctness.
+	if hit && faultinject.Hit(nil, faultinject.SiteCacheLookup) != nil {
+		hit = false
+	}
+	if hit {
 		e.metrics.add(&e.metrics.cacheHits, 1)
 		j := e.newJobLocked(req, key)
 		j.state = StateDone
@@ -263,9 +315,23 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		return in, nil
 	}
 
+	// Predictive load shedding: once the queue is deep enough that a
+	// new job would wait out its welcome, reject at the door with a
+	// back-off hint instead of accepting work destined to be shed.
+	// Internal submissions (sweep cells) bypass this — their sweep was
+	// already admitted, and starving it would livelock the batch path.
+	if !internal && e.cfg.MaxQueueWait > 0 && e.estimatedWaitLocked() > e.cfg.MaxQueueWait {
+		e.metrics.add(&e.metrics.overloadRejects, 1)
+		return JobInfo{}, &OverloadError{Err: ErrOverloaded, RetryAfter: e.retryAfterLocked()}
+	}
+
 	j := e.newJobLocked(req, key)
 	j.state = StateQueued
-	j.ctx, j.cancel = context.WithCancel(e.baseCtx)
+	if d := e.cfg.JobDeadline; d > 0 {
+		j.ctx, j.cancel = context.WithTimeout(e.baseCtx, d)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(e.baseCtx)
+	}
 
 	// A sweep is an orchestrator, not a unit of work: it fans its
 	// cells out through Submit (so they get caching, dedup and the
@@ -288,10 +354,50 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 	default:
 		j.cancel()
 		delete(e.jobs, j.id)
-		return JobInfo{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth)
+		e.metrics.add(&e.metrics.queueFullRejects, 1)
+		return JobInfo{}, &OverloadError{
+			Err:        fmt.Errorf("%w (depth %d)", ErrQueueFull, e.cfg.QueueDepth),
+			RetryAfter: e.retryAfterLocked(),
+		}
 	}
 	e.inflight[key] = j
 	return j.info(), nil
+}
+
+// estimatedWaitLocked predicts how long a job enqueued now would sit
+// in the queue: queued depth spread across the workers, each slot
+// taking the EWMA of recent run times. Zero until the engine has
+// finished at least one job (no basis to shed on).
+func (e *Engine) estimatedWaitLocked() time.Duration {
+	ewma := e.metrics.runEWMA()
+	if ewma <= 0 {
+		return 0
+	}
+	perWorker := float64(len(e.queue)) / float64(e.cfg.Workers)
+	return time.Duration(perWorker * ewma * float64(time.Second))
+}
+
+// retryAfterLocked is the engine's back-off suggestion for shed
+// clients: the predicted queue wait clamped to [1s, 30s], so a hint
+// exists even before the EWMA warms up and a deep queue never tells
+// clients to go away for minutes.
+func (e *Engine) retryAfterLocked() time.Duration {
+	est := e.estimatedWaitLocked()
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
+// RetryAfterHint exposes the current back-off suggestion (see
+// retryAfterLocked) for HTTP responses built outside Submit.
+func (e *Engine) RetryAfterHint() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.retryAfterLocked()
 }
 
 func (e *Engine) newJobLocked(req api.Request, key string) *job {
@@ -330,23 +436,66 @@ func (e *Engine) run(j *job) {
 	if !e.start(j) {
 		return
 	}
-	result, err := e.execute(j.ctx, j.req)
+	result, err := e.guardedExecute(j)
 	e.finalize(j, result, err)
 }
 
-// start moves a queued job to running; false means the job was
-// cancelled while queued and is already finalized.
+// guardedExecute isolates the worker from a panicking solve: the
+// panic becomes this one job's failure (classified CodePanic,
+// counted as panics_recovered) instead of killing the daemon. The
+// SiteExecute failpoint fires here, on the worker goroutine, so an
+// armed panic exercises exactly this recovery path.
+func (e *Engine) guardedExecute(j *job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Hit(j.ctx, faultinject.SiteExecute); err != nil {
+		return nil, fmt.Errorf("service: job %s: %w", j.id, err)
+	}
+	return e.execute(j.ctx, j.req)
+}
+
+// start moves a queued job to running; false means the job is
+// already finalized: cancelled while queued, expired past its
+// deadline, or shed after overstaying the queue-wait budget.
 func (e *Engine) start(j *job) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if j.state != StateQueued {
 		return false
 	}
+	wait := time.Since(j.submitted)
+	// Queue-side shedding: don't burn a worker on a job whose
+	// deadline already fired or whose wait exceeded the budget — the
+	// caller has timed out or been told to retry.
+	if err := j.ctx.Err(); err != nil {
+		e.failLocked(j, fmt.Errorf("service: job expired while queued (waited %v): %w",
+			wait.Round(time.Millisecond), err))
+		e.finishQueuedLocked(j)
+		return false
+	}
+	if e.cfg.MaxQueueWait > 0 && wait > e.cfg.MaxQueueWait {
+		e.failLocked(j, fmt.Errorf("%w (queued %v, budget %v)",
+			ErrShed, wait.Round(time.Millisecond), e.cfg.MaxQueueWait))
+		e.finishQueuedLocked(j)
+		return false
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	e.running++
-	e.metrics.observe("queue", j.started.Sub(j.submitted))
+	e.metrics.observe("queue", wait)
 	return true
+}
+
+// finishQueuedLocked finalizes a job that never ran.
+func (e *Engine) finishQueuedLocked(j *job) {
+	j.finished = time.Now()
+	delete(e.inflight, j.key)
+	e.rememberFinishedLocked(j)
+	j.cancel()
+	close(j.done)
 }
 
 // finalize records a running job's outcome and releases everything
@@ -356,26 +505,49 @@ func (e *Engine) finalize(j *job, result any, err error) {
 	defer e.mu.Unlock()
 	e.running--
 	j.finished = time.Now()
-	e.metrics.observe("run."+j.kind, j.finished.Sub(j.started))
-	switch {
-	case err == nil:
+	e.metrics.observeRun(j.kind, j.finished.Sub(j.started))
+	if err == nil {
 		j.state = StateDone
 		j.result = result
 		e.cache.add(j.key, result)
 		e.metrics.add(&e.metrics.jobsDone, 1)
-	case j.ctx.Err() != nil:
-		j.state = StateCanceled
-		j.err = err
-		e.metrics.add(&e.metrics.jobsCanceled, 1)
-	default:
-		j.state = StateFailed
-		j.err = err
-		e.metrics.add(&e.metrics.jobsFailed, 1)
+	} else {
+		e.failLocked(j, err)
 	}
 	delete(e.inflight, j.key)
 	e.rememberFinishedLocked(j)
 	j.cancel()
 	close(j.done)
+}
+
+// failLocked classifies a job failure into its terminal state, the
+// stable error code clients dispatch on, and the matching counter.
+func (e *Engine) failLocked(j *job, err error) {
+	j.err = err
+	var pe *PanicError
+	switch {
+	case errors.Is(err, ErrShed):
+		j.state = StateFailed
+		j.errCode = CodeShed
+		e.metrics.add(&e.metrics.jobsShed, 1)
+	case errors.Is(j.ctx.Err(), context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errCode = CodeDeadline
+		e.metrics.add(&e.metrics.jobsDeadline, 1)
+	case j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.errCode = CodeCanceled
+		e.metrics.add(&e.metrics.jobsCanceled, 1)
+	case errors.As(err, &pe):
+		j.state = StateFailed
+		j.errCode = CodePanic
+		e.metrics.add(&e.metrics.panicsRecovered, 1)
+		e.metrics.add(&e.metrics.jobsFailed, 1)
+	default:
+		j.state = StateFailed
+		j.errCode = CodeInternal
+		e.metrics.add(&e.metrics.jobsFailed, 1)
+	}
 }
 
 // runSweep orchestrates one sweep job: fan the cells out as ordinary
@@ -385,8 +557,19 @@ func (e *Engine) runSweep(j *job, sweep *api.SweepRequest) {
 	if !e.start(j) {
 		return
 	}
-	resp, err := e.collectSweep(j, sweep)
+	resp, err := e.guardedCollect(j, sweep)
 	e.finalize(j, resp, err)
+}
+
+// guardedCollect gives the sweep orchestrator the same panic
+// isolation workers get: a panic fails the sweep, not the daemon.
+func (e *Engine) guardedCollect(j *job, sweep *api.SweepRequest) (resp *api.SweepResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.collectSweep(j, sweep)
 }
 
 // collectSweep submits every cell up front — maximizing worker-pool
@@ -500,6 +683,7 @@ func (e *Engine) Cancel(id string) (JobInfo, error) {
 	case StateQueued:
 		j.state = StateCanceled
 		j.err = context.Canceled
+		j.errCode = CodeCanceled
 		j.finished = time.Now()
 		j.cancel()
 		delete(e.inflight, j.key)
@@ -538,6 +722,7 @@ func (e *Engine) Metrics() Snapshot {
 	s.JobsRunning = e.running
 	s.CacheEntries = e.cache.len()
 	s.Workers = e.cfg.Workers
+	s.RetryAfterHintS = e.retryAfterLocked().Seconds()
 	e.mu.Unlock()
 	s.Assembly = e.sysCache.Stats()
 	return s

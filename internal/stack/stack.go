@@ -1,15 +1,3 @@
-// Package stack compiles a 3-D chip stack plus a cooling option into
-// a thermal.Model: silicon dies with their rasterised floorplan power
-// maps, TSV-filled die-to-die bonds, TIM, heat spreader and heatsink
-// (or closed-loop cold plate), convective boundaries per coolant, the
-// parylene insulation film on every water-wetted surface, and the
-// secondary heat path through the package substrate and board.
-//
-// Geometry and material constants follow Table 2 of the paper; the
-// handful of values the paper does not specify (die thickness, bond
-// conductivity including the vertical-interconnect copper fill, cold
-// plate film coefficient) are declared in Params and pinned by the
-// calibration tests in internal/core.
 package stack
 
 import (

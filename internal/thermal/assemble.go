@@ -1,6 +1,10 @@
 package thermal
 
-import "fmt"
+import (
+	"fmt"
+
+	"waterimm/internal/faultinject"
+)
 
 // System is the assembled sparse conductance system G·T = q in CSR
 // form. G is symmetric positive definite whenever the model has a
@@ -76,6 +80,9 @@ func (c *coo) tie(a int, g float64) {
 // is independent of the model's power maps except through Q, so a
 // caller sweeping power levels can rebuild Q cheaply via RefreshQ.
 func Assemble(m *Model) (*System, error) {
+	if err := faultinject.Hit(nil, faultinject.SiteAssemble); err != nil {
+		return nil, fmt.Errorf("thermal: assembly failed: %w", err)
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

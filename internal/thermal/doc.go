@@ -1,0 +1,21 @@
+// Package thermal is a HotSpot-6.0-style compact thermal model for
+// 3-D stacked packages: every stack layer (silicon die, die-to-die
+// bond, TIM, heat spreader, heatsink base) is discretised into an
+// nx×ny grid of RC cells over the die footprint; lumped peripheral
+// nodes capture the spreader/heatsink overhang beyond the die, and
+// convective boundary conductances model the coolant. The steady
+// state solves the SPD conductance system G·T = q with a
+// preconditioned conjugate gradient (Jacobi or geometric multigrid)
+// whose matrix-vector product is parallelised; a backward-Euler
+// stepper reuses the same machinery for transient studies.
+//
+// Temperatures are in °C with the coolant/ambient temperature folded
+// into the right-hand side, so the solution vector is directly the
+// temperature field.
+//
+// Long solves stay controllable: the CG loop polls its context every
+// 8 iterations, which is also where the internal/faultinject
+// failpoints (thermal.assemble, thermal.cg.iteration) hook in so
+// tests and staging drills can fail an assembly or wedge a solve on
+// demand.
+package thermal

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"waterimm/internal/faultinject"
 	"waterimm/internal/parallel"
 )
 
@@ -266,9 +267,17 @@ func (s *System) SolveSteady(opt SolveOptions) ([]float64, error) {
 			return nil, fmt.Errorf("thermal: CG did not converge in %d iterations (residual %.3e, target %.3e)",
 				opt.MaxIter, rn, opt.Tol*ref)
 		}
-		if opt.Ctx != nil && iter%8 == 0 {
-			if err := opt.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("thermal: solve cancelled after %d iterations: %w", iter, err)
+		if iter%8 == 0 {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return nil, fmt.Errorf("thermal: solve cancelled after %d iterations: %w", iter, err)
+				}
+			}
+			// Failpoint at the solver's poll cadence: an armed stall here
+			// simulates a wedged solve and must be cut short by the job
+			// deadline; an armed error aborts the iteration.
+			if err := faultinject.Hit(opt.Ctx, faultinject.SiteCGIteration); err != nil {
+				return nil, fmt.Errorf("thermal: solve aborted after %d iterations: %w", iter, err)
 			}
 		}
 		s.MatVec(ap, p)

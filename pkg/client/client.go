@@ -8,9 +8,10 @@
 // surface directly for callers that want to multiplex work.
 //
 // Server errors arrive as *APIError carrying the stable machine
-// code of the JSON error envelope; transient capacity errors
-// (503 queue_full / unavailable) are retried automatically with a
-// linear backoff before surfacing.
+// code of the JSON error envelope. Capacity errors — 429 (queue
+// full, load shed) and 503 (overloaded, draining) — are retried
+// automatically with full-jitter exponential backoff, using any
+// Retry-After the server sends as a floor, before surfacing.
 package client
 
 import (
@@ -19,8 +20,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"waterimm/internal/api"
@@ -32,12 +35,16 @@ type Client struct {
 	base *url.URL
 	http *http.Client
 
-	// MaxRetries bounds the automatic retries of 503 responses
-	// (queue full, draining). Default 4.
+	// MaxRetries bounds the automatic retries of 429/503 responses
+	// (queue full, shed, draining). Default 4.
 	MaxRetries int
-	// RetryBackoff is the pause after the i-th failed attempt,
-	// scaled linearly: backoff, 2·backoff, ... Default 250 ms.
+	// RetryBackoff seeds the exponential backoff: after the i-th
+	// failed attempt the client sleeps a uniformly random duration in
+	// [0, min(RetryBackoffMax, RetryBackoff·2^i)] (full jitter), but
+	// never less than the server's Retry-After. Default 250 ms.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff ceiling. Default 4 s.
+	RetryBackoffMax time.Duration
 	// PollInterval paces Wait's status polling. Default 50 ms.
 	PollInterval time.Duration
 }
@@ -57,11 +64,12 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 		httpClient = http.DefaultClient
 	}
 	return &Client{
-		base:         u,
-		http:         httpClient,
-		MaxRetries:   4,
-		RetryBackoff: 250 * time.Millisecond,
-		PollInterval: 50 * time.Millisecond,
+		base:            u,
+		http:            httpClient,
+		MaxRetries:      4,
+		RetryBackoff:    250 * time.Millisecond,
+		RetryBackoffMax: 4 * time.Second,
+		PollInterval:    50 * time.Millisecond,
 	}, nil
 }
 
@@ -81,20 +89,24 @@ func (e *APIError) Error() string {
 // Transient reports whether the error is worth retrying: the server
 // was up but had no capacity at that moment.
 func (e *APIError) Transient() bool {
-	return e.Code == "queue_full" || e.StatusCode == http.StatusServiceUnavailable
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
 }
 
 // Job mirrors the server's job snapshot. Result stays raw JSON; the
 // typed helpers decode it into the response of the job's kind.
 type Job struct {
-	ID       string             `json:"id"`
-	Kind     string             `json:"kind"`
-	Key      string             `json:"key"`
-	State    string             `json:"state"`
-	CacheHit bool               `json:"cache_hit"`
-	Deduped  bool               `json:"deduped,omitempty"`
-	Error    string             `json:"error,omitempty"`
-	Progress *api.SweepProgress `json:"progress,omitempty"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Key      string `json:"key"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Deduped  bool   `json:"deduped,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// ErrorCode is the stable machine code of a failed job
+	// ("deadline_exceeded", "shed", "panic", "canceled", "internal").
+	ErrorCode string             `json:"error_code,omitempty"`
+	Progress  *api.SweepProgress `json:"progress,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -254,9 +266,10 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return decodeInto(body, out)
 }
 
-// roundTrip sends one request, retrying transient 503s, and returns
-// the final status and body. Non-2xx statuses are returned, not
-// errors; callers map them (202 is meaningful to sync and Result).
+// roundTrip sends one request, retrying transient 429/503s with
+// full-jitter backoff, and returns the final status and body. Non-2xx
+// statuses are returned, not errors; callers map them (202 is
+// meaningful to sync and Result).
 func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (int, []byte, error) {
 	var payload []byte
 	if in != nil {
@@ -288,16 +301,63 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (in
 		if err != nil {
 			return 0, nil, fmt.Errorf("client: read response: %w", err)
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.MaxRetries {
+		if retryable(resp.StatusCode) && attempt < c.MaxRetries {
 			select {
 			case <-ctx.Done():
 				return 0, nil, ctx.Err()
-			case <-time.After(time.Duration(attempt+1) * c.RetryBackoff):
+			case <-time.After(c.retryDelay(attempt, retryAfter(resp.Header))):
 			}
 			continue
 		}
 		return resp.StatusCode, b, nil
 	}
+}
+
+// retryable reports whether a status signals a transient capacity
+// condition: 429 is this one request turned away (queue full, shed),
+// 503 is the whole service overloaded or draining.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable
+}
+
+// retryDelay picks the sleep before retry attempt+1: a uniformly
+// random duration up to the exponentially growing ceiling ("full
+// jitter", which decorrelates a thundering herd of shed clients), but
+// never below the server's own Retry-After hint.
+func (c *Client) retryDelay(attempt int, serverHint time.Duration) time.Duration {
+	ceiling := c.RetryBackoff
+	for i := 0; i < attempt && ceiling < c.RetryBackoffMax; i++ {
+		ceiling *= 2
+	}
+	if c.RetryBackoffMax > 0 && ceiling > c.RetryBackoffMax {
+		ceiling = c.RetryBackoffMax
+	}
+	d := serverHint
+	if ceiling > 0 {
+		if j := time.Duration(rand.Int64N(int64(ceiling) + 1)); j > d {
+			d = j
+		}
+	}
+	return d
+}
+
+// retryAfter parses a Retry-After header, either delta-seconds or an
+// HTTP-date; absent or malformed values yield 0.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func decodeInto(body []byte, out any) error {

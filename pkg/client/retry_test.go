@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waterimm/internal/api"
+)
+
+// TestRetryOn429HonorsRetryAfter: a shed request with Retry-After
+// must hold the client back for at least the advertised interval
+// before the retry that succeeds.
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": map[string]string{"code": "queue_full", "message": "queue at capacity"},
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, api.PlanResponse{Feasible: true, FrequencyGHz: 2})
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	start := time.Now()
+	plan, err := c.Plan(context.Background(), &api.PlanRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Feasible {
+		t.Fatalf("plan after 429: %+v", plan)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2", n)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, Retry-After of 1s not honored", elapsed)
+	}
+}
+
+// TestRetryStormExhaustsAttempts: a 503 storm gives up after
+// MaxRetries+1 attempts with the envelope's code, and the error is
+// still marked transient for callers with their own retry budget.
+func TestRetryStormExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": map[string]string{"code": "overloaded", "message": "predicted wait over budget"},
+		})
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	c.MaxRetries = 3
+	_, err := c.Plan(context.Background(), &api.PlanRequest{})
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != "overloaded" || !apiErr.Transient() {
+		t.Fatalf("error after storm: %v", err)
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("server saw %d calls, want MaxRetries+1 = 4", n)
+	}
+}
+
+// TestCancelMidBackoff: cancelling the context while the client waits
+// out a long Retry-After must abort promptly with the context error.
+func TestCancelMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": map[string]string{"code": "shed", "message": "come back later"},
+		})
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Plan(ctx, &api.PlanRequest{})
+	if err == nil || context.Cause(ctx) == nil {
+		t.Fatalf("cancelled backoff returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client slept %v past its context", elapsed)
+	}
+}
+
+// TestRetryDelayBounds pins the backoff arithmetic: the jittered
+// delay stays within [hint, min(cap, base·2^attempt)] and the server
+// hint always wins as a floor.
+func TestRetryDelayBounds(t *testing.T) {
+	c := &Client{RetryBackoff: 100 * time.Millisecond, RetryBackoffMax: time.Second}
+	for attempt := 0; attempt < 8; attempt++ {
+		ceiling := 100 * time.Millisecond << attempt
+		if ceiling > time.Second {
+			ceiling = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.retryDelay(attempt, 0); d < 0 || d > ceiling {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, ceiling)
+			}
+		}
+		if d := c.retryDelay(attempt, 2*time.Second); d < 2*time.Second {
+			t.Fatalf("attempt %d: delay %v below the 2s server hint", attempt, d)
+		}
+	}
+}
+
+// TestRetryAfterParsing covers the header's two RFC forms plus the
+// degenerate cases.
+func TestRetryAfterParsing(t *testing.T) {
+	h := http.Header{}
+	if d := retryAfter(h); d != 0 {
+		t.Fatalf("absent header: %v", d)
+	}
+	h.Set("Retry-After", "7")
+	if d := retryAfter(h); d != 7*time.Second {
+		t.Fatalf("delta-seconds: %v", d)
+	}
+	h.Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+	if d := retryAfter(h); d < 8*time.Second || d > 10*time.Second {
+		t.Fatalf("http-date: %v", d)
+	}
+	h.Set("Retry-After", time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat))
+	if d := retryAfter(h); d != 0 {
+		t.Fatalf("past http-date: %v", d)
+	}
+	h.Set("Retry-After", "soon")
+	if d := retryAfter(h); d != 0 {
+		t.Fatalf("garbage: %v", d)
+	}
+}
