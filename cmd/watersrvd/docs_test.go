@@ -20,7 +20,7 @@ func TestOperationsDocCoversSurface(t *testing.T) {
 		t.Fatalf("OPERATIONS.md must exist at the repo root: %v", err)
 	}
 
-	flagRE := regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64)\("([a-z-]+)"`)
+	flagRE := regexp.MustCompile(`flag\.(?:String|Int64|Int|Bool|Duration|Float64)\("([a-z-]+)"`)
 	var flags []string
 	for _, m := range flagRE.FindAllStringSubmatch(string(src), -1) {
 		flags = append(flags, m[1])

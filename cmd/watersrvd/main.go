@@ -6,6 +6,7 @@
 // Usage:
 //
 //	watersrvd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
+//	          [-cache-dir DIR] [-cache-max-bytes N]
 //	          [-sync-timeout 120s] [-drain-timeout 30s] [-pprof]
 //	          [-job-deadline 5m] [-max-queue-wait 1m] [-fault spec]
 //
@@ -28,6 +29,15 @@
 // client can poll /v1/jobs/{id} — the job keeps running. SIGINT and
 // SIGTERM stop the listener and drain in-flight jobs for up to
 // -drain-timeout before exit.
+//
+// Persistence: -cache-dir spills every finished result to a
+// disk-backed store (internal/rcache, one checksummed file per
+// canonical request hash) and warm-boots the in-memory LRU from it,
+// so a restarted daemon serves previously computed simulations
+// instead of recomputing them. -cache-max-bytes bounds the store;
+// least-recently-used entries are evicted beyond it. Corrupt or
+// schema-stale entries are deleted and counted (disk_cache_corrupt
+// in /v1/metrics), never served.
 //
 // Robustness: every job runs under the -job-deadline wall-clock
 // budget (a stalled solve fails with deadline_exceeded instead of
@@ -63,6 +73,7 @@ import (
 
 	"waterimm/internal/api"
 	"waterimm/internal/faultinject"
+	"waterimm/internal/rcache"
 	"waterimm/internal/service"
 )
 
@@ -71,6 +82,8 @@ var (
 	flagWorkers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	flagQueue        = flag.Int("queue", 256, "job queue depth")
 	flagCache        = flag.Int("cache", 512, "result cache entries")
+	flagCacheDir     = flag.String("cache-dir", "", "directory of the persistent result cache; finished results survive restarts (empty = memory only)")
+	flagCacheMax     = flag.Int64("cache-max-bytes", 256<<20, "disk cache byte budget before least-recently-used entries are evicted (0 = unbounded)")
 	flagSyncTimeout  = flag.Duration("sync-timeout", 120*time.Second, "max wait of the synchronous endpoints")
 	flagDrainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	flagPprof        = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
@@ -334,12 +347,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "watersrvd: FAULT INJECTION ARMED (%s) — not for production\n", *flagFault)
 	}
+	var store *rcache.Store
+	if *flagCacheDir != "" {
+		var err error
+		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.SchemaVersion)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "watersrvd:", err)
+			os.Exit(2)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "watersrvd: disk cache %s: %d entries, %d bytes\n",
+			*flagCacheDir, st.Entries, st.Bytes)
+	}
 	engine := service.New(service.Config{
 		Workers:      *flagWorkers,
 		QueueDepth:   *flagQueue,
 		CacheEntries: *flagCache,
 		JobDeadline:  *flagJobDeadline,
 		MaxQueueWait: *flagMaxQueueWait,
+		DiskCache:    store,
 	})
 	expvar.Publish("watersrvd", expvar.Func(func() any { return engine.Metrics() }))
 

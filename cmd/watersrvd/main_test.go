@@ -7,11 +7,14 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"waterimm/internal/api"
+	"waterimm/internal/rcache"
 	"waterimm/internal/service"
 	"waterimm/pkg/client"
 )
@@ -190,6 +193,65 @@ func TestRepeatRequestCached(t *testing.T) {
 	}
 	if m.CacheHitRate != 0.5 {
 		t.Fatalf("hit rate %g, want 0.5", m.CacheHitRate)
+	}
+}
+
+// TestDiskCacheAcrossRestart exercises the daemon-level persistence
+// contract end to end: a second handler stack booted over the first
+// one's cache directory serves a previously computed plan without
+// running a job, and the hit shows up in /v1/metrics under the disk
+// tier.
+func TestDiskCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	newerBody := `{"chip": "lp", "chips": 2, "grid_nx": 8, "grid_ny": 8}`
+	newer := &api.PlanRequest{Chip: "lp", Chips: 2, GridNX: 8, GridNY: 8}
+
+	store1, err := rcache.Open(dir, 64<<20, api.SchemaVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := service.New(service.Config{DiskCache: store1})
+	ts1 := httptest.NewServer(newHandler(e1, time.Minute, false))
+	for _, body := range []string{fastPlanBody, newerBody} {
+		if resp, b := post(t, ts1.URL+"/v1/plan", body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("phase-1 plan: %d %s", resp.StatusCode, b)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	e1.Close()
+
+	// Pin the second plan as newest so the one-entry warm boot below
+	// deterministically leaves fastPlan to the lazy disk path.
+	future := time.Now().Add(time.Minute)
+	if err := os.Chtimes(filepath.Join(dir, newer.CacheKey()+".json"), future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := rcache.Open(dir, 64<<20, api.SchemaVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, _ := newTestServer(t, service.Config{CacheEntries: 1, DiskCache: store2})
+	if resp, b := post(t, ts2.URL+"/v1/plan", fastPlanBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan after restart: %d %s", resp.StatusCode, b)
+	}
+
+	_, mbody := get(t, ts2.URL+"/v1/metrics")
+	var m service.Snapshot
+	if err := json.Unmarshal(mbody, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHitsDisk != 1 || m.JobsDone != 0 || m.CacheMisses != 0 {
+		t.Fatalf("restart metrics: disk=%d done=%d miss=%d, want 1/0/0",
+			m.CacheHitsDisk, m.JobsDone, m.CacheMisses)
+	}
+	if !m.DiskCacheEnabled || m.DiskCacheEntries != 2 {
+		t.Fatalf("disk gauges after restart: %+v", m)
 	}
 }
 

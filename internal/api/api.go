@@ -221,7 +221,12 @@ func (r *CosimRequest) Normalize() {
 	if r.GridNY == 0 {
 		r.GridNY = 32
 	}
-	if r.MaxSamples == 0 {
+	// Non-positive means "default": 0 is the zero value of an omitted
+	// field, and a negative cap is meaningless — before this clamp it
+	// slipped through to the decimation step, where a negative make()
+	// length panics the worker. Clamping (rather than rejecting)
+	// keeps 0-as-default semantics uniform with every other field.
+	if r.MaxSamples <= 0 {
 		r.MaxSamples = 256
 	}
 }

@@ -93,7 +93,7 @@ func TestCosimValidate(t *testing.T) {
 		{DurationS: 61},                  // above cap
 		{Scale: -1},                      // negative
 		{GridNX: 2},                      // too coarse
-		{MaxSamples: -5},                 // negative
+		{MaxSamples: 200_000},            // above cap
 		{DurationS: 30, IntervalS: 1e-6}, // interval-count cap
 	}
 	for i, r := range bad {
@@ -101,6 +101,39 @@ func TestCosimValidate(t *testing.T) {
 		if err := r.Validate(); err == nil {
 			t.Errorf("bad request %d validated: %+v", i, r)
 		}
+	}
+	// Validate without (re-)Normalize still rejects a non-positive
+	// cap: the clamp is normalization's job, not a validation
+	// loophole for callers that skip it.
+	unclamped := &CosimRequest{}
+	unclamped.Normalize()
+	unclamped.MaxSamples = -5
+	if err := unclamped.Validate(); err == nil {
+		t.Error("un-normalized negative max_samples validated")
+	}
+}
+
+// TestCosimMaxSamplesClamp is the regression test for the decimation
+// bug: a non-positive max_samples means "default", and must never
+// reach the execution layer, where 0 dropped every sample and a
+// negative value panicked the worker (make with a negative length).
+func TestCosimMaxSamplesClamp(t *testing.T) {
+	for _, samples := range []int{0, -5} {
+		r := &CosimRequest{MaxSamples: samples}
+		r.Normalize()
+		if r.MaxSamples != 256 {
+			t.Fatalf("MaxSamples %d normalized to %d, want the 256 default", samples, r.MaxSamples)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("clamped request failed validation: %v", err)
+		}
+	}
+	// The clamp folds the degenerate spellings onto the default's
+	// canonical form, so they share one cache identity.
+	def := &CosimRequest{}
+	neg := &CosimRequest{MaxSamples: -5}
+	if def.CacheKey() != neg.CacheKey() {
+		t.Fatal("clamped max_samples diverges from the default cache key")
 	}
 }
 

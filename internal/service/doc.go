@@ -1,10 +1,12 @@
 // Package service is the concurrent simulation-as-a-service engine
 // behind cmd/watersrvd: a bounded worker pool over an async job queue
-// with submit / status / result / cancel semantics, an LRU result
-// cache keyed by the canonical request hash (internal/api), in-flight
-// deduplication so identical concurrent requests share one
-// simulation, and a metrics registry (job counters, cache hit rate,
-// per-stage latency histograms, CG solver statistics).
+// with submit / status / result / cancel semantics, a tiered result
+// cache keyed by the canonical request hash (internal/api) — an
+// in-memory LRU in front of an optional persistent store
+// (internal/rcache) that survives restarts — in-flight deduplication
+// so identical concurrent requests share one simulation, and a
+// metrics registry (job counters, per-tier cache hit rates, per-stage
+// latency histograms, CG solver statistics).
 //
 // Job lifecycle:
 //

@@ -118,12 +118,17 @@ func runCosim(ctx context.Context, r *api.CosimRequest) (*api.CosimResponse, err
 }
 
 // decimate picks at most max evenly spaced indices out of [0, n),
-// always keeping the first and last points.
+// always keeping the first and last points. A non-positive max means
+// "no cap" and returns every index: api.CosimRequest normalization
+// defaults the cap before requests reach here, but a direct caller
+// passing 0 (meaning "default") or a negative value must get the full
+// series — not an empty one, and not a panic from make with a
+// negative length.
 func decimate(n, max int) []int {
 	if n <= 0 {
 		return nil
 	}
-	if max >= n {
+	if max <= 0 || max >= n {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = i

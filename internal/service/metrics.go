@@ -77,7 +77,8 @@ type metrics struct {
 	panicsRecovered  uint64
 	queueFullRejects uint64
 	overloadRejects  uint64
-	cacheHits        uint64
+	cacheHitsMem     uint64
+	cacheHitsDisk    uint64
 	cacheMisses      uint64
 	dedupHits        uint64
 
@@ -200,11 +201,31 @@ type Snapshot struct {
 	RunEWMAS        float64 `json:"run_ewma_s"`
 	RetryAfterHintS float64 `json:"retry_after_hint_s"`
 
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheEntries int     `json:"cache_entries"`
-	DedupHits    uint64  `json:"dedup_hits"`
+	// Result-cache effectiveness, split per tier: CacheHitsMem served
+	// from the in-memory LRU, CacheHitsDisk loaded from the persistent
+	// store (and promoted into memory). CacheHits is their sum;
+	// CacheMisses are submissions that found nothing in either tier
+	// and were computed. Deduped submissions count in DedupHits only.
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheHitsMem  uint64  `json:"cache_hits_mem"`
+	CacheHitsDisk uint64  `json:"cache_hits_disk"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheEntries  int     `json:"cache_entries"`
+	DedupHits     uint64  `json:"dedup_hits"`
+
+	// Persistent-tier gauges, zero when no -cache-dir is configured.
+	// DiskCacheCorrupt counts entries deleted because they failed an
+	// integrity check (checksum, schema generation, key, decode) —
+	// they are evicted, never served. DiskCacheEvictions counts
+	// byte-budget GC removals.
+	DiskCacheEnabled     bool   `json:"disk_cache_enabled"`
+	DiskCacheEntries     int    `json:"disk_cache_entries"`
+	DiskCacheBytes       int64  `json:"disk_cache_bytes"`
+	DiskCacheEvictions   uint64 `json:"disk_cache_evictions"`
+	DiskCacheCorrupt     uint64 `json:"disk_cache_corrupt"`
+	DiskCacheWrites      uint64 `json:"disk_cache_writes"`
+	DiskCacheWriteErrors uint64 `json:"disk_cache_write_errors"`
 
 	Workers int `json:"workers"`
 
@@ -235,13 +256,15 @@ func (m *metrics) snapshot() Snapshot {
 		QueueFullRejects:     m.queueFullRejects,
 		OverloadRejects:      m.overloadRejects,
 		RunEWMAS:             m.runEWMAS,
-		CacheHits:            m.cacheHits,
+		CacheHits:            m.cacheHitsMem + m.cacheHitsDisk,
+		CacheHitsMem:         m.cacheHitsMem,
+		CacheHitsDisk:        m.cacheHitsDisk,
 		CacheMisses:          m.cacheMisses,
 		DedupHits:            m.dedupHits,
 		LatencyS:             make(map[string]*Histogram, len(m.hists)),
 	}
-	if total := m.cacheHits + m.cacheMisses; total > 0 {
-		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	if total := s.CacheHits + m.cacheMisses; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
 	for name, h := range m.hists {
 		s.LatencyS[name] = h.clone()

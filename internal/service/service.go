@@ -11,6 +11,7 @@ import (
 
 	"waterimm/internal/api"
 	"waterimm/internal/faultinject"
+	"waterimm/internal/rcache"
 	"waterimm/internal/thermal"
 )
 
@@ -48,6 +49,13 @@ type Config struct {
 	// caller has likely given up on. 0 disables shedding (the
 	// default).
 	MaxQueueWait time.Duration
+	// DiskCache is an optional persistent result store
+	// (internal/rcache). When set, lookups are tiered — memory LRU,
+	// then disk, then compute — every computed result is spilled to
+	// disk, and New bulk-warms the memory LRU from the most recently
+	// used disk entries so finished work survives a restart. nil
+	// keeps the cache memory-only (the default).
+	DiskCache *rcache.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +242,11 @@ type Engine struct {
 	// it has its own synchronization.
 	sysCache *thermal.SystemCache
 
+	// disk is the persistent result tier (nil = memory only); it has
+	// its own synchronization and is never touched under mu — disk IO
+	// must not block status polls and submissions.
+	disk *rcache.Store
+
 	metrics *metrics
 }
 
@@ -250,7 +263,13 @@ func New(cfg Config) *Engine {
 		baseCtx:  ctx,
 		abortAll: cancel,
 		sysCache: thermal.NewSystemCache(cfg.AssemblyCacheEntries),
+		disk:     cfg.DiskCache,
 		metrics:  newMetrics(),
+	}
+	if e.disk != nil {
+		// Warm boot: results a previous process computed are resident
+		// before the first request arrives.
+		e.warmFromDisk()
 	}
 	e.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -296,17 +315,9 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		hit = false
 	}
 	if hit {
-		e.metrics.add(&e.metrics.cacheHits, 1)
-		j := e.newJobLocked(req, key)
-		j.state = StateDone
-		j.cacheHit = true
-		j.result = res
-		j.finished = j.submitted
-		close(j.done)
-		e.rememberFinishedLocked(j)
-		return j.info(), nil
+		e.metrics.add(&e.metrics.cacheHitsMem, 1)
+		return e.cachedDoneLocked(req, key, res), nil
 	}
-	e.metrics.add(&e.metrics.cacheMisses, 1)
 
 	if f, ok := e.inflight[key]; ok {
 		e.metrics.add(&e.metrics.dedupHits, 1)
@@ -314,6 +325,35 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		in.Deduped = true
 		return in, nil
 	}
+
+	// Disk tier: the probe does file IO, so the engine lock is
+	// released around it — a status poll must never wait on a disk
+	// read. The fast paths are re-checked afterwards because an
+	// identical submission may have raced in meanwhile.
+	if e.disk != nil {
+		e.mu.Unlock()
+		res, ok := e.diskLookup(key)
+		e.mu.Lock()
+		if e.closed && !internal {
+			return JobInfo{}, ErrClosed
+		}
+		if memRes, memHit := e.cache.get(key); memHit {
+			e.metrics.add(&e.metrics.cacheHitsMem, 1)
+			return e.cachedDoneLocked(req, key, memRes), nil
+		}
+		if f, okf := e.inflight[key]; okf {
+			e.metrics.add(&e.metrics.dedupHits, 1)
+			in := f.info()
+			in.Deduped = true
+			return in, nil
+		}
+		if ok {
+			e.metrics.add(&e.metrics.cacheHitsDisk, 1)
+			e.cache.add(key, res)
+			return e.cachedDoneLocked(req, key, res), nil
+		}
+	}
+	e.metrics.add(&e.metrics.cacheMisses, 1)
 
 	// Predictive load shedding: once the queue is deep enough that a
 	// new job would wait out its welcome, reject at the door with a
@@ -398,6 +438,20 @@ func (e *Engine) RetryAfterHint() time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.retryAfterLocked()
+}
+
+// cachedDoneLocked mints an already-terminal job record around a
+// result served from either cache tier, so the submitter gets a
+// normal job snapshot without anything ever queueing.
+func (e *Engine) cachedDoneLocked(req api.Request, key string, res any) JobInfo {
+	j := e.newJobLocked(req, key)
+	j.state = StateDone
+	j.cacheHit = true
+	j.result = res
+	j.finished = j.submitted
+	close(j.done)
+	e.rememberFinishedLocked(j)
+	return j.info()
 }
 
 func (e *Engine) newJobLocked(req api.Request, key string) *job {
@@ -499,10 +553,12 @@ func (e *Engine) finishQueuedLocked(j *job) {
 }
 
 // finalize records a running job's outcome and releases everything
-// waiting on it.
+// waiting on it. A successful result is then spilled to the disk tier
+// outside the lock — still on the worker (or sweep orchestrator)
+// goroutine, so Drain's WaitGroups cover the write: once a drain
+// returns, every finished result is durable.
 func (e *Engine) finalize(j *job, result any, err error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.running--
 	j.finished = time.Now()
 	e.metrics.observeRun(j.kind, j.finished.Sub(j.started))
@@ -518,6 +574,11 @@ func (e *Engine) finalize(j *job, result any, err error) {
 	e.rememberFinishedLocked(j)
 	j.cancel()
 	close(j.done)
+	e.mu.Unlock()
+
+	if err == nil && e.disk != nil {
+		e.spill(j.kind, j.key, result)
+	}
 }
 
 // failLocked classifies a job failure into its terminal state, the
@@ -725,6 +786,16 @@ func (e *Engine) Metrics() Snapshot {
 	s.RetryAfterHintS = e.retryAfterLocked().Seconds()
 	e.mu.Unlock()
 	s.Assembly = e.sysCache.Stats()
+	if e.disk != nil {
+		st := e.disk.Stats()
+		s.DiskCacheEnabled = true
+		s.DiskCacheEntries = st.Entries
+		s.DiskCacheBytes = st.Bytes
+		s.DiskCacheEvictions = st.Evictions
+		s.DiskCacheCorrupt = st.Corrupt
+		s.DiskCacheWrites = st.Writes
+		s.DiskCacheWriteErrors = st.WriteErrors
+	}
 	return s
 }
 

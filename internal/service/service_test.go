@@ -395,6 +395,12 @@ func TestDecimate(t *testing.T) {
 		{5, 5, []int{0, 1, 2, 3, 4}},
 		{10, 1, []int{9}},
 		{9, 3, []int{0, 4, 8}},
+		// Regression: a non-positive cap means "no cap". 0 used to
+		// silently drop every sample; a negative cap panicked on
+		// make([]int, max).
+		{5, 0, []int{0, 1, 2, 3, 4}},
+		{5, -3, []int{0, 1, 2, 3, 4}},
+		{0, -1, nil},
 	}
 	for _, c := range cases {
 		got := decimate(c.n, c.max)

@@ -343,21 +343,26 @@ func (c *Client) retryDelay(attempt int, serverHint time.Duration) time.Duration
 }
 
 // retryAfter parses a Retry-After header, either delta-seconds or an
-// HTTP-date; absent or malformed values yield 0.
+// HTTP-date; absent or malformed values yield 0. Both forms clamp to
+// zero at the end: an HTTP-date in the past (or negative delta
+// seconds) means "retry now", and must never become a negative
+// duration — retryDelay uses the result as a backoff floor, and a
+// negative floor would silently disable the floor comparison.
 func retryAfter(h http.Header) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = time.Until(at)
 	}
-	if at, err := http.ParseTime(v); err == nil {
-		if d := time.Until(at); d > 0 {
-			return d
-		}
+	if d < 0 {
+		return 0
 	}
-	return 0
+	return d
 }
 
 func decodeInto(body []byte, out any) error {

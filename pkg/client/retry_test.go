@@ -139,3 +139,33 @@ func TestRetryAfterParsing(t *testing.T) {
 		t.Fatalf("garbage: %v", d)
 	}
 }
+
+// TestRetryAfterClampsPastHints is the regression test for the
+// backoff-floor bug: a Retry-After pointing into the past — a stale
+// HTTP-date or negative delta-seconds — must clamp to exactly zero.
+// A negative duration leaking out of retryAfter acts as a bogus floor
+// in retryDelay (every jittered delay is "above" it, including ones
+// that should have been rejected), so both header forms are pinned
+// here.
+func TestRetryAfterClampsPastHints(t *testing.T) {
+	cases := map[string]string{
+		"date-in-past":   time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat),
+		"negative-delta": "-7",
+	}
+	for name, v := range cases {
+		h := http.Header{}
+		h.Set("Retry-After", v)
+		d := retryAfter(h)
+		if d != 0 {
+			t.Errorf("%s: retryAfter = %v, want 0", name, d)
+		}
+		// The clamped hint must flow through the backoff arithmetic
+		// without ever producing a negative sleep.
+		c := &Client{RetryBackoff: 50 * time.Millisecond, RetryBackoffMax: time.Second}
+		for i := 0; i < 20; i++ {
+			if got := c.retryDelay(0, d); got < 0 {
+				t.Fatalf("%s: retryDelay = %v, want >= 0", name, got)
+			}
+		}
+	}
+}
