@@ -1,0 +1,139 @@
+// Command waterrouter is the cache-aware sharding edge tier over a
+// fleet of watersrvd backends (internal/router). It consistent-hashes
+// every request's canonical cache key across the backends so identical
+// requests dedup onto one backend, answers repeat traffic from its own
+// persistent edge cache with zero backend computes, and ejects
+// draining or dead backends with minimal key movement.
+//
+// Usage:
+//
+//	waterrouter -backends http://h1:8080,http://h2:8080 [-addr :8090]
+//	            [-health-interval 2s] [-fail-threshold 3]
+//	            [-cache-dir DIR] [-cache-max-bytes N]
+//	            [-drain-timeout 30s]
+//
+// The HTTP surface mirrors watersrvd — POST /v1/plan, /v1/cosim,
+// /v1/sweep, /v1/jobs, GET/DELETE /v1/jobs/{id}[, /result] — so
+// clients (pkg/client included) point at the router unchanged. Job IDs
+// gain a backend-affinity prefix ("b0!j000042-..."), and the
+// aggregated GET /v1/metrics reports the router's own counters, a
+// fleet-wide roll-up, and every backend's raw snapshot. GET /healthz
+// answers 200 while at least one backend takes new work, 503
+// "degraded" when none does, and 503 "draining" once SIGTERM begins
+// the router's own drain. See the Router section of OPERATIONS.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/rcache"
+	"waterimm/internal/router"
+)
+
+var (
+	flagAddr           = flag.String("addr", ":8090", "listen address")
+	flagBackends       = flag.String("backends", "", "comma-separated watersrvd base URLs; position i becomes ring ID b<i> — keep the order stable across restarts")
+	flagHealthInterval = flag.Duration("health-interval", 2*time.Second, "active /healthz probe interval")
+	flagFailThreshold  = flag.Int("fail-threshold", 3, "consecutive probe failures before a backend is declared dead")
+	flagCacheDir       = flag.String("cache-dir", "", "directory of the persistent edge cache; repeat traffic is answered here with zero backend computes (empty = no edge tier)")
+	flagCacheMax       = flag.Int64("cache-max-bytes", 256<<20, "edge cache byte budget before least-recently-used entries are evicted (0 = unbounded)")
+	flagDrainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget for in-flight proxied requests")
+)
+
+func main() {
+	flag.Parse()
+	backends := splitBackends(*flagBackends)
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "waterrouter: -backends is required (comma-separated watersrvd URLs)")
+		os.Exit(2)
+	}
+
+	var store *rcache.Store
+	if *flagCacheDir != "" {
+		var err error
+		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.SchemaVersion)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "waterrouter:", err)
+			os.Exit(2)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "waterrouter: edge cache %s: %d entries, %d bytes\n",
+			*flagCacheDir, st.Entries, st.Bytes)
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:       backends,
+		EdgeCache:      store,
+		HealthInterval: *flagHealthInterval,
+		FailThreshold:  *flagFailThreshold,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waterrouter:", err)
+		os.Exit(2)
+	}
+
+	// Settle initial backend health before taking traffic so the first
+	// requests do not burn a failover walk discovering a dead backend.
+	probeCtx, probeCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	rt.ProbeOnce(probeCtx)
+	probeCancel()
+	rt.Start()
+	defer rt.Close()
+	for _, b := range rt.Backends() {
+		fmt.Fprintf(os.Stderr, "waterrouter: backend %s = %s (%s)\n", b.ID, b.URL, b.Health())
+	}
+
+	srv := &http.Server{
+		Addr:              *flagAddr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "waterrouter: routing %d backends on %s\n", len(backends), *flagAddr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "waterrouter:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Mirror the backend drain protocol: flip /healthz to "draining"
+	// so an upstream balancer ejects this router, then stop the
+	// listener and let in-flight proxied requests finish.
+	fmt.Fprintln(os.Stderr, "waterrouter: draining")
+	rt.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *flagDrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "waterrouter: http shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "waterrouter: drained cleanly")
+}
+
+// splitBackends parses the -backends list, tolerating stray spaces
+// and empty segments.
+func splitBackends(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,7 +1,10 @@
 // Command watersrvd serves the water-immersion simulation pipeline
 // over HTTP: planner (max-frequency) and co-simulation requests become
 // cacheable, concurrent, cancellable network jobs backed by
-// internal/service.
+// internal/service. The HTTP surface itself lives in internal/httpapi;
+// this binary wires flags, the persistent cache, and signals around
+// it. For fleet deployments, cmd/waterrouter consistent-hashes
+// requests across many watersrvd backends.
 //
 // Usage:
 //
@@ -20,15 +23,17 @@
 //	GET    /v1/jobs/{id}/result job result (202 while pending)
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/metrics         engine metrics as JSON
-//	GET    /healthz            liveness
+//	GET    /healthz            200 "ok", or 503 "draining" once shutdown began
 //	GET    /debug/vars         expvar (includes the metrics snapshot)
 //	GET    /debug/pprof/...    net/http/pprof profiling (only with -pprof)
 //
 // Synchronous endpoints wait up to -sync-timeout; if the simulation
 // is still running they answer 202 with the job snapshot so the
 // client can poll /v1/jobs/{id} — the job keeps running. SIGINT and
-// SIGTERM stop the listener and drain in-flight jobs for up to
-// -drain-timeout before exit.
+// SIGTERM first flip /healthz to 503 {"status":"draining"} (so
+// routers and load balancers eject this backend), then stop the
+// listener and drain in-flight jobs for up to -drain-timeout before
+// exit.
 //
 // Persistence: -cache-dir spills every finished result to a
 // disk-backed store (internal/rcache, one checksummed file per
@@ -49,30 +54,29 @@
 // staging drills — never in production. See OPERATIONS.md for the
 // runbook.
 //
-// Every error response carries the JSON envelope
-// {"error": {"code": "...", "message": "..."}} with a stable
-// machine-readable code (see the errCode* constants); clients switch
-// on the code, not the message text.
+// Every response echoes an X-Request-Id header (adopted from the
+// caller — e.g. waterrouter — or freshly minted), and every error
+// response carries the JSON envelope
+// {"error": {"code": "...", "message": "...", "request_id": "..."}}
+// with a stable machine-readable code (see internal/httpapi); clients
+// switch on the code, not the message text.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
-	"expvar"
 	"flag"
 	"fmt"
-	"math"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
+	"expvar"
+
 	"waterimm/internal/api"
 	"waterimm/internal/faultinject"
+	"waterimm/internal/httpapi"
 	"waterimm/internal/rcache"
 	"waterimm/internal/service"
 )
@@ -91,249 +95,6 @@ var (
 	flagMaxQueueWait = flag.Duration("max-queue-wait", time.Minute, "queue-wait budget before load shedding kicks in (0 = never shed)")
 	flagFault        = flag.String("fault", "", "dev-only fault injection spec, e.g. 'thermal.cg.iteration=stall:delay=2s' (see internal/faultinject)")
 )
-
-// server binds the engine to the HTTP surface.
-type server struct {
-	engine      *service.Engine
-	syncTimeout time.Duration
-}
-
-func newHandler(e *service.Engine, syncTimeout time.Duration, pprofEnabled bool) http.Handler {
-	s := &server{engine: e, syncTimeout: syncTimeout}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.healthz)
-	mux.HandleFunc("GET /v1/metrics", s.metrics)
-	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
-		s.sync(w, r, &api.PlanRequest{})
-	})
-	mux.HandleFunc("POST /v1/cosim", func(w http.ResponseWriter, r *http.Request) {
-		s.sync(w, r, &api.CosimRequest{})
-	})
-	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
-		s.sync(w, r, &api.SweepRequest{})
-	})
-	mux.HandleFunc("POST /v1/jobs", s.submit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	mux.Handle("GET /debug/vars", expvar.Handler())
-	if pprofEnabled {
-		// Registered on the private mux (not http.DefaultServeMux, which
-		// importing net/http/pprof would populate unconditionally) so
-		// profiling is opt-in via -pprof: CPU and heap profiles of a
-		// solver-bound daemon are invaluable, but the endpoints leak
-		// internals and cost real CPU while sampling.
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// Stable machine-readable error codes of the JSON error envelope.
-// These are API surface: clients dispatch on them, so changing one is
-// a breaking change.
-const (
-	errCodeBadRequest      = "bad_request"       // malformed body or envelope
-	errCodeInvalidArgument = "invalid_argument"  // well-formed but failed validation
-	errCodeQueueFull       = "queue_full"        // job queue at capacity (429), retry after Retry-After
-	errCodeOverloaded      = "overloaded"        // predicted queue wait over budget (503), retry after Retry-After
-	errCodeShed            = "shed"              // accepted job dropped after overstaying the queue (429)
-	errCodeDeadline        = "deadline_exceeded" // job ran out of its -job-deadline budget (504)
-	errCodeUnavailable     = "unavailable"       // engine draining or shut down (503)
-	errCodeNotFound        = "not_found"         // unknown job ID
-	errCodeCanceled        = "canceled"          // job was cancelled before finishing
-	errCodeInternal        = "internal"          // simulation failed (includes recovered panics)
-)
-
-// errorDetail is the inner object of the error envelope.
-type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// errorBody is the JSON error envelope every non-2xx response wears:
-// {"error": {"code": "...", "message": "..."}}.
-type errorBody struct {
-	Error errorDetail `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
-}
-
-// setRetryAfter adds a Retry-After header (whole seconds, rounded
-// up) when the engine supplied a back-off hint.
-func setRetryAfter(w http.ResponseWriter, d time.Duration) {
-	if d > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(d.Seconds()))))
-	}
-}
-
-// submitError maps a Submit failure onto an HTTP status, error code
-// and Retry-After hint. Submit fails on validation (the request is
-// wrong) or on capacity (the service is busy or draining); the code
-// tells the client which retry policy applies: 429 means this
-// request was turned away, 503 means the service as a whole has no
-// capacity right now — both carry Retry-After.
-func submitError(err error) (status int, code string, retryAfter time.Duration) {
-	var ov *service.OverloadError
-	if errors.As(err, &ov) {
-		retryAfter = ov.RetryAfter
-	}
-	switch {
-	case errors.Is(err, service.ErrQueueFull):
-		return http.StatusTooManyRequests, errCodeQueueFull, retryAfter
-	case errors.Is(err, service.ErrOverloaded):
-		return http.StatusServiceUnavailable, errCodeOverloaded, retryAfter
-	case errors.Is(err, service.ErrClosed):
-		return http.StatusServiceUnavailable, errCodeUnavailable, time.Second
-	default:
-		return http.StatusBadRequest, errCodeInvalidArgument, 0
-	}
-}
-
-// failureStatus maps a failed job's stable service code onto the
-// response status and envelope code. Recovered panics surface as
-// internal — the code is in the job snapshot for the curious, but
-// clients retry panics exactly like any other internal failure.
-func failureStatus(in service.JobInfo) (int, string) {
-	switch in.ErrorCode {
-	case service.CodeDeadline:
-		return http.StatusGatewayTimeout, errCodeDeadline
-	case service.CodeShed:
-		return http.StatusTooManyRequests, errCodeShed
-	default:
-		return http.StatusInternalServerError, errCodeInternal
-	}
-}
-
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
-	}
-	return nil
-}
-
-func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
-func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Metrics())
-}
-
-// sync runs a request to completion within the sync timeout and
-// returns the bare response payload. If the budget runs out first it
-// answers 202 with the job snapshot; the job keeps running and the
-// client can poll the async endpoints.
-func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
-	if err := decodeBody(r, req); err != nil {
-		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
-		return
-	}
-	in, err := s.engine.Submit(req)
-	if err != nil {
-		status, code, retryAfter := submitError(err)
-		setRetryAfter(w, retryAfter)
-		writeError(w, status, code, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.syncTimeout)
-	defer cancel()
-	got, err := s.engine.Wait(ctx, in.ID)
-	if err != nil {
-		// Timeout or client disconnect: hand back the job handle.
-		st, stErr := s.engine.Status(in.ID)
-		if stErr != nil {
-			writeError(w, http.StatusInternalServerError, errCodeInternal, stErr)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, st)
-		return
-	}
-	switch got.State {
-	case service.StateDone:
-		writeJSON(w, http.StatusOK, got.Result)
-	case service.StateCanceled:
-		writeError(w, http.StatusConflict, errCodeCanceled, fmt.Errorf("job %s was cancelled", got.ID))
-	default:
-		status, code := failureStatus(got)
-		if code == errCodeShed {
-			setRetryAfter(w, s.engine.RetryAfterHint())
-		}
-		writeError(w, status, code, fmt.Errorf("job %s failed: %s", got.ID, got.Error))
-	}
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var env api.Envelope
-	if err := decodeBody(r, &env); err != nil {
-		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
-		return
-	}
-	req, err := env.Request()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, errCodeBadRequest, err)
-		return
-	}
-	in, err := s.engine.Submit(req)
-	if err != nil {
-		status, code, retryAfter := submitError(err)
-		setRetryAfter(w, retryAfter)
-		writeError(w, status, code, err)
-		return
-	}
-	status := http.StatusAccepted
-	if in.State.Terminal() {
-		status = http.StatusOK // cache hit: already done
-	}
-	writeJSON(w, status, in)
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	in, err := s.engine.Status(r.PathValue("id"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, errCodeNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, in)
-}
-
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
-	in, err := s.engine.Result(r.PathValue("id"))
-	switch {
-	case errors.Is(err, service.ErrUnknownJob):
-		writeError(w, http.StatusNotFound, errCodeNotFound, err)
-	case errors.Is(err, service.ErrNotDone):
-		writeJSON(w, http.StatusAccepted, in)
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, errCodeInternal, err)
-	default:
-		writeJSON(w, http.StatusOK, in)
-	}
-}
-
-func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
-	in, err := s.engine.Cancel(r.PathValue("id"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, errCodeNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, in)
-}
 
 func main() {
 	flag.Parse()
@@ -371,7 +132,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *flagAddr,
-		Handler:           newHandler(engine, *flagSyncTimeout, *flagPprof),
+		Handler:           httpapi.NewHandler(engine, httpapi.Options{SyncTimeout: *flagSyncTimeout, Pprof: *flagPprof}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -389,16 +150,23 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop the listener, finish in-flight HTTP
-	// handlers, then drain queued and running jobs.
+	// Graceful shutdown: announce the drain first — /healthz flips to
+	// 503 "draining" so routers and load balancers eject this backend
+	// — then drain queued and running jobs WHILE the listener still
+	// serves: health probes must be able to observe the draining state
+	// and clients must be able to poll results for jobs finishing
+	// mid-drain. Only once the engine is empty does the listener stop
+	// and in-flight handlers wind down.
 	fmt.Fprintln(os.Stderr, "watersrvd: draining")
+	engine.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *flagDrainTimeout)
 	defer cancel()
+	drainErr := engine.Drain(shutdownCtx)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "watersrvd: http shutdown:", err)
 	}
-	if err := engine.Drain(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "watersrvd: drain aborted in-flight jobs:", err)
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "watersrvd: drain aborted in-flight jobs:", drainErr)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "watersrvd: drained cleanly")

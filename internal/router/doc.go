@@ -1,0 +1,36 @@
+// Package router is the cache-aware sharding edge tier in front of a
+// fleet of watersrvd backends.
+//
+// Every simulation request reduces to a canonical cache key
+// (api.Request.CacheKey — the SHA-256 of the normalized request under
+// the current schema generation). The router rendezvous-hashes that
+// key across the backend IDs, so:
+//
+//   - identical requests from any number of clients land on the same
+//     backend, where the engine's in-flight dedup collapses them into
+//     one compute and its cache tiers answer repeats;
+//   - each backend's memory and disk caches stay hot for "its" slice
+//     of the key space instead of every backend caching everything;
+//   - fleet resizes move only ~1/N of the key space (rendezvous
+//     hashing's minimal-disruption property, see Ring).
+//
+// On top of sharding, the router keeps its own disk tier — the same
+// internal/rcache store the backends use, keyed identically — so
+// repeat traffic for a finished result is answered at the edge with
+// zero backend traffic, and a freshly wiped backend is effectively
+// warmed by the router's copy.
+//
+// Health is tracked two ways: an active prober polls every backend's
+// /healthz (a "draining" body or repeated failures eject it), and live
+// traffic ejects passively (a connection error marks the backend dead
+// immediately; a 503 "unavailable" marks it draining). Unavailable
+// backends are skipped during the ranked walk — not removed from the
+// ring — so keys fail over down their own ranking and snap back the
+// moment the owner recovers.
+//
+// Async jobs route by affinity: the router prefixes every job ID it
+// hands out with the owning backend's ID ("b2!j000017-ab12cd34"), so a
+// later status/result/cancel call routes straight back without shared
+// state. Edge-served submissions get the reserved "edge!" prefix and
+// resolve entirely from the router's store.
+package router

@@ -1,0 +1,88 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring ranks backends for a canonical request key by rendezvous
+// (highest-random-weight) hashing: every (backend, key) pair gets a
+// pseudo-random score, and a key belongs to the highest-scoring
+// backend. The properties that matter here:
+//
+//   - Identical keys always rank the same backends in the same order,
+//     so identical requests from different clients land on (and dedup
+//     at) the same backend, and that backend's caches stay hot.
+//   - Adding a backend moves only the keys it now wins — in
+//     expectation 1/(N+1) of them; removing one moves only its own
+//     keys, each to its second-ranked backend. No other key moves, so
+//     cache locality survives fleet resizes.
+//   - The full ranking doubles as the failover order: when a backend
+//     is draining or dead the router walks to the next-ranked one,
+//     and the key snaps back as soon as the owner recovers — no ring
+//     mutation, no global remap.
+//
+// A Ring is immutable; membership changes build a new one.
+type Ring struct {
+	ids []string
+}
+
+// NewRing builds a ring over the backend IDs. IDs must be unique;
+// order does not matter (ranking depends only on the ID strings).
+func NewRing(ids []string) *Ring {
+	r := &Ring{ids: append([]string(nil), ids...)}
+	sort.Strings(r.ids)
+	return r
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// score is the rendezvous weight of key on backend id. FNV-1a over
+// "id\x00key" is cheap (one pass, no allocation beyond the hasher)
+// and empirically balanced for this use: TestRingBalance bounds the
+// max/min load ratio it produces.
+func score(id, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the highest-ranked backend for key ("" on an empty
+// ring).
+func (r *Ring) Owner(key string) string {
+	best, bestScore := "", uint64(0)
+	for _, id := range r.ids {
+		if s := score(id, key); best == "" || s > bestScore || (s == bestScore && id < best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// Order returns all backends ranked by descending score for key: the
+// owner first, then the failover sequence. Ties break on ID so the
+// ranking is deterministic across processes.
+func (r *Ring) Order(key string) []string {
+	type ranked struct {
+		id string
+		s  uint64
+	}
+	rs := make([]ranked, len(r.ids))
+	for i, id := range r.ids {
+		rs[i] = ranked{id, score(id, key)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].id < rs[j].id
+	})
+	out := make([]string, len(rs))
+	for i, x := range rs {
+		out[i] = x.id
+	}
+	return out
+}

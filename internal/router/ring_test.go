@@ -1,0 +1,155 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys synthesizes canonical-key-like strings; real keys are
+// SHA-256 hex, so any high-entropy string family stands in fine.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d-%x", i, i*2654435761)
+	}
+	return keys
+}
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("b%d", i)
+	}
+	return ids
+}
+
+// TestRingBalance bounds the load skew of rendezvous hashing: across
+// fleet sizes 2–16, the most-loaded backend must carry no more than
+// 1.5× the least-loaded one over 10k keys. (The theoretical
+// distribution is multinomial with p=1/N; for 10k keys the max/min
+// ratio concentrates well below 1.3 — 1.5 leaves slack against an
+// unlucky hash family, while still failing instantly for a broken
+// score function, which typically skews 10× or worse.)
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(10000)
+	for n := 2; n <= 16; n++ {
+		ring := NewRing(ringIDs(n))
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d backends own keys", n, len(counts))
+		}
+		min, max := len(keys), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if ratio := float64(max) / float64(min); ratio > 1.5 {
+			t.Errorf("n=%d: load skew max/min = %d/%d = %.2f > 1.5", n, max, min, ratio)
+		}
+	}
+}
+
+// TestRingMinimalRemapOnAdd checks rendezvous hashing's core promise:
+// growing the fleet from N to N+1 moves only the keys the newcomer
+// wins — about 1/(N+1) of them — and every moved key moves TO the
+// newcomer, never between old backends.
+func TestRingMinimalRemapOnAdd(t *testing.T) {
+	keys := testKeys(10000)
+	for n := 2; n <= 8; n++ {
+		before := NewRing(ringIDs(n))
+		after := NewRing(ringIDs(n + 1))
+		newcomer := fmt.Sprintf("b%d", n)
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := before.Owner(k), after.Owner(k)
+			if oldOwner == newOwner {
+				continue
+			}
+			moved++
+			if newOwner != newcomer {
+				t.Fatalf("n=%d: key %q moved %s→%s, not to the newcomer %s",
+					n, k, oldOwner, newOwner, newcomer)
+			}
+		}
+		expect := float64(len(keys)) / float64(n+1)
+		if f := float64(moved); f < 0.7*expect || f > 1.3*expect {
+			t.Errorf("n=%d→%d: %d keys moved, expected ≈%.0f (1/(N+1) of %d)",
+				n, n+1, moved, expect, len(keys))
+		}
+	}
+}
+
+// TestRingMinimalRemapOnRemove checks the inverse: removing a backend
+// moves exactly its own keys (each to its second-ranked backend) and
+// zero keys that it did not own.
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	keys := testKeys(10000)
+	for n := 3; n <= 8; n++ {
+		full := NewRing(ringIDs(n))
+		removed := "b1"
+		var survivors []string
+		for _, id := range ringIDs(n) {
+			if id != removed {
+				survivors = append(survivors, id)
+			}
+		}
+		shrunk := NewRing(survivors)
+		for _, k := range keys {
+			oldOwner, newOwner := full.Owner(k), shrunk.Owner(k)
+			if oldOwner != removed {
+				if newOwner != oldOwner {
+					t.Fatalf("n=%d: key %q not owned by removed %s still moved %s→%s",
+						n, k, removed, oldOwner, newOwner)
+				}
+				continue
+			}
+			// An orphaned key must land on its failover backend: the
+			// next-ranked survivor in the full ring's order.
+			order := full.Order(k)
+			if len(order) < 2 || order[0] != removed {
+				t.Fatalf("n=%d: inconsistent order %v for key owned by %s", n, order, removed)
+			}
+			if newOwner != order[1] {
+				t.Fatalf("n=%d: orphaned key %q landed on %s, not its failover %s",
+					n, k, newOwner, order[1])
+			}
+		}
+	}
+}
+
+// TestRingOrderIsStablePermutation pins down Order's contract: a
+// deterministic permutation of all members led by the owner,
+// insensitive to the construction order of the ring.
+func TestRingOrderIsStablePermutation(t *testing.T) {
+	ring := NewRing([]string{"b2", "b0", "b1"})
+	rev := NewRing([]string{"b1", "b0", "b2"})
+	for _, k := range testKeys(100) {
+		order := ring.Order(k)
+		if len(order) != 3 {
+			t.Fatalf("order %v is not a permutation of 3 members", order)
+		}
+		if order[0] != ring.Owner(k) {
+			t.Fatalf("order %v does not lead with owner %s", order, ring.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("order %v repeats %s", order, id)
+			}
+			seen[id] = true
+		}
+		ro := rev.Order(k)
+		for i := range order {
+			if order[i] != ro[i] {
+				t.Fatalf("ranking depends on construction order: %v vs %v", order, ro)
+			}
+		}
+	}
+}

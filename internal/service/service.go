@@ -230,6 +230,7 @@ type Engine struct {
 	cache    *lruCache
 	seq      uint64
 	closed   bool
+	draining bool
 	running  int
 
 	queue    chan *job
@@ -797,6 +798,27 @@ func (e *Engine) Metrics() Snapshot {
 		s.DiskCacheWriteErrors = st.WriteErrors
 	}
 	return s
+}
+
+// BeginDrain marks the engine as draining for health reporting:
+// Draining returns true from now on, so load balancers and routers
+// polling the health endpoint stop sending new work, while in-flight
+// HTTP handlers and accepted jobs still complete. Submissions are not
+// rejected until Drain is called — the window between the two is the
+// grace period in which traffic already on the wire lands cleanly.
+func (e *Engine) BeginDrain() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+}
+
+// Draining reports whether a drain has been announced (BeginDrain) or
+// started (Drain/Close). The HTTP layer turns this into a 503
+// "draining" health response.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining || e.closed
 }
 
 // Drain stops accepting new jobs, lets queued and running jobs finish,

@@ -80,9 +80,17 @@ type APIError struct {
 	StatusCode int    // HTTP status
 	Code       string // stable machine code ("queue_full", "not_found", ...)
 	Message    string // human-readable detail
+	// RequestID is the server's X-Request-Id for this exchange (also
+	// present in the error envelope) — quote it when filing a report
+	// so the operator can grep the exact request across the router and
+	// backend logs.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("client: server answered %d %s: %s (request %s)", e.StatusCode, e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("client: server answered %d %s: %s", e.StatusCode, e.Code, e.Message)
 }
 
@@ -225,7 +233,7 @@ func (c *Client) Metrics(ctx context.Context) (map[string]json.RawMessage, error
 // sync budget: the job keeps running, so fall through to the async
 // API and wait for it there.
 func (c *Client) sync(ctx context.Context, path string, req api.Request, out any) error {
-	status, body, err := c.roundTrip(ctx, http.MethodPost, path, req)
+	status, body, header, err := c.roundTrip(ctx, http.MethodPost, path, req)
 	if err != nil {
 		return err
 	}
@@ -246,19 +254,19 @@ func (c *Client) sync(ctx context.Context, path string, req api.Request, out any
 		}
 		return decodeInto(final.Result, out)
 	default:
-		return apiError(status, body)
+		return apiError(status, body, header)
 	}
 }
 
 // do performs one API call expecting a 2xx JSON body decoded into
 // out (which may be nil to discard it).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	status, body, err := c.roundTrip(ctx, method, path, in)
+	status, body, header, err := c.roundTrip(ctx, method, path, in)
 	if err != nil {
 		return err
 	}
 	if status < 200 || status >= 300 {
-		return apiError(status, body)
+		return apiError(status, body, header)
 	}
 	if out == nil {
 		return nil
@@ -267,15 +275,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // roundTrip sends one request, retrying transient 429/503s with
-// full-jitter backoff, and returns the final status and body. Non-2xx
-// statuses are returned, not errors; callers map them (202 is
-// meaningful to sync and Result).
-func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (int, []byte, error) {
+// full-jitter backoff, and returns the final status, body, and
+// response headers. Non-2xx statuses are returned, not errors; callers
+// map them (202 is meaningful to sync and Result).
+func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (int, []byte, http.Header, error) {
 	var payload []byte
 	if in != nil {
 		var err error
 		if payload, err = json.Marshal(in); err != nil {
-			return 0, nil, fmt.Errorf("client: encode request: %w", err)
+			return 0, nil, nil, fmt.Errorf("client: encode request: %w", err)
 		}
 	}
 	u := *c.base
@@ -287,29 +295,29 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (in
 		}
 		req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
 		if err != nil {
-			return 0, nil, fmt.Errorf("client: build request: %w", err)
+			return 0, nil, nil, fmt.Errorf("client: build request: %w", err)
 		}
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return 0, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+			return 0, nil, nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 		b, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return 0, nil, fmt.Errorf("client: read response: %w", err)
+			return 0, nil, nil, fmt.Errorf("client: read response: %w", err)
 		}
 		if retryable(resp.StatusCode) && attempt < c.MaxRetries {
 			select {
 			case <-ctx.Done():
-				return 0, nil, ctx.Err()
+				return 0, nil, nil, ctx.Err()
 			case <-time.After(c.retryDelay(attempt, retryAfter(resp.Header))):
 			}
 			continue
 		}
-		return resp.StatusCode, b, nil
+		return resp.StatusCode, b, resp.Header, nil
 	}
 }
 
@@ -373,18 +381,29 @@ func decodeInto(body []byte, out any) error {
 }
 
 // apiError decodes the error envelope, degrading gracefully when the
-// body is not the expected JSON (a proxy error page, say).
-func apiError(status int, body []byte) error {
+// body is not the expected JSON (a proxy error page, say). The request
+// ID comes from the envelope when present, else from the X-Request-Id
+// response header — either way the client surfaces the server's
+// correlation handle.
+func apiError(status int, body []byte, header http.Header) error {
+	reqID := ""
+	if header != nil {
+		reqID = header.Get("X-Request-Id")
+	}
 	var e struct {
 		Error struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
 		} `json:"error"`
 	}
 	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
-		return &APIError{StatusCode: status, Code: "unknown", Message: string(body)}
+		return &APIError{StatusCode: status, Code: "unknown", Message: string(body), RequestID: reqID}
 	}
-	return &APIError{StatusCode: status, Code: e.Error.Code, Message: e.Error.Message}
+	if e.Error.RequestID != "" {
+		reqID = e.Error.RequestID
+	}
+	return &APIError{StatusCode: status, Code: e.Error.Code, Message: e.Error.Message, RequestID: reqID}
 }
 
 // envelope wraps a request for the async submit endpoint.
