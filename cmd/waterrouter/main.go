@@ -60,7 +60,7 @@ func main() {
 	var store *rcache.Store
 	if *flagCacheDir != "" {
 		var err error
-		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.SchemaVersion)
+		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.CacheGeneration)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "waterrouter:", err)
 			os.Exit(2)

@@ -56,6 +56,32 @@ func TestOperationsDocCoversSurface(t *testing.T) {
 		}
 	}
 
+	// Metric names the runbook must keep explaining: scrape the JSON
+	// field tags off the engine's top-level metrics snapshot so a new
+	// counter cannot ship undocumented. Nested structures (histogram
+	// buckets, solver stats) are documented at the block level only.
+	metricsSrc, err := os.ReadFile("../../internal/service/metrics.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := regexp.MustCompile(`(?s)type Snapshot struct \{.*?\n\}`).Find(metricsSrc)
+	if snap == nil {
+		t.Fatal("service.Snapshot struct not found — scrape out of date?")
+	}
+	metricRE := regexp.MustCompile("`json:\"([a-z_]+)\"`")
+	var metrics []string
+	for _, m := range metricRE.FindAllStringSubmatch(string(snap), -1) {
+		metrics = append(metrics, m[1])
+	}
+	if len(metrics) < 15 {
+		t.Fatalf("metric scrape found only %v — regexp out of date?", metrics)
+	}
+	for _, m := range metrics {
+		if !regexp.MustCompile("`" + m + "`").Match(doc) {
+			t.Errorf("metric %q is not documented in OPERATIONS.md", m)
+		}
+	}
+
 	codeRE := regexp.MustCompile(`ErrCode[A-Za-z]+\s+= "([a-z_]+)"`)
 	var codes []string
 	for _, m := range codeRE.FindAllStringSubmatch(string(surface), -1) {

@@ -111,7 +111,7 @@ func main() {
 	var store *rcache.Store
 	if *flagCacheDir != "" {
 		var err error
-		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.SchemaVersion)
+		store, err = rcache.Open(*flagCacheDir, *flagCacheMax, api.CacheGeneration)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "watersrvd:", err)
 			os.Exit(2)

@@ -17,11 +17,44 @@ import (
 //
 // v2: added the sweep request kind and the grid node budget
 // (gridNodeBudget) that plan and cosim validation now enforce.
-const SchemaVersion = 2
+//
+// v3: added the montecarlo request kind, the job envelope
+// (POST /v1/jobs with a type discriminator), and the optional
+// perturb/eval_ghz fields on plan requests. The new plan fields are
+// omitempty and absent from every previously reachable request, so
+// the canonical encodings of all v2 requests are byte-identical —
+// the per-kind key generations below therefore stay at 2 for
+// plan/cosim/sweep and no deployed cache entry is invalidated
+// (TestCacheKeysFrozen pins the exact keys).
+const SchemaVersion = 3
+
+// CacheGeneration is the result-store envelope generation the
+// daemons pass to rcache.Open. It is deliberately decoupled from
+// SchemaVersion: the store deletes entries written under any other
+// generation, so this constant bumps only when deployed cache
+// entries must actually be invalidated. The v3 schema added a new
+// kind without changing any existing kind's canonical encoding, so
+// deployed stores stay valid.
+const CacheGeneration = 2
+
+// keyGeneration returns the schema generation hashed into a kind's
+// cache-key prefix. A kind's generation is bumped only when that
+// kind's canonical encoding actually changes; kinds whose encodings
+// are untouched keep their generation — and therefore their deployed
+// cache entries — across a SchemaVersion bump.
+func keyGeneration(kind string) int {
+	switch kind {
+	case "plan", "cosim", "sweep":
+		return 2
+	case "montecarlo":
+		return 3
+	}
+	panic(fmt.Sprintf("api: no key generation for kind %q", kind))
+}
 
 // Request is the common surface of the service's request kinds.
 type Request interface {
-	// Kind returns "plan", "cosim" or "sweep".
+	// Kind returns "plan", "cosim", "sweep" or "montecarlo".
 	Kind() string
 	// Normalize fills defaults and resolves aliases in place.
 	Normalize()
@@ -60,6 +93,19 @@ type PlanRequest struct {
 	// GridNX and GridNY set the thermal grid resolution. Default 32.
 	GridNX int `json:"grid_nx"`
 	GridNY int `json:"grid_ny"`
+	// EvalGHz, when non-zero, additionally evaluates the steady-state
+	// peak temperature at this fixed VFS step (whether or not the
+	// step is admissible) and reports it as PlanResponse.EvalPeakC —
+	// the per-sample observable behind the montecarlo workload's
+	// exceedance probability. Must be a VFS step of the chip.
+	//
+	// EvalGHz and Perturb are omitempty: absent they encode exactly
+	// as the v2 schema did, so pre-existing plan cache keys are
+	// unchanged (see keyGeneration).
+	EvalGHz float64 `json:"eval_ghz,omitempty"`
+	// Perturb applies physical-parameter perturbations to the cell;
+	// nil means the nominal stack.
+	Perturb *Perturb `json:"perturb,omitempty"`
 }
 
 // Kind implements Request.
@@ -88,12 +134,39 @@ func (r *PlanRequest) Normalize() {
 	if r.GridNY == 0 {
 		r.GridNY = 32
 	}
+	if r.Perturb != nil {
+		if r.Perturb.empty() {
+			// {"perturb": {}} and an absent perturb are the same
+			// request; fold them onto one canonical form.
+			r.Perturb = nil
+		} else {
+			r.Perturb.normalize()
+		}
+	}
 }
 
 // Validate implements Request.
 func (r *PlanRequest) Validate() error {
-	if _, err := power.ModelByName(r.Chip); err != nil {
+	chip, err := power.ModelByName(r.Chip)
+	if err != nil {
 		return fmt.Errorf("api: plan: %w", err)
+	}
+	if r.EvalGHz != 0 {
+		onStep := false
+		for _, s := range chip.Steps() {
+			if s.FHz == r.EvalGHz*1e9 {
+				onStep = true
+				break
+			}
+		}
+		if !onStep {
+			return fmt.Errorf("api: plan: eval_ghz %.2f is not a VFS step of %s", r.EvalGHz, chip.Name)
+		}
+	}
+	if r.Perturb != nil {
+		if err := r.Perturb.Validate(); err != nil {
+			return fmt.Errorf("api: plan: %w", err)
+		}
 	}
 	if _, err := material.ByName(r.Coolant); err != nil {
 		return fmt.Errorf("api: plan: %w", err)
@@ -116,6 +189,10 @@ func (r *PlanRequest) Validate() error {
 // CacheKey implements Request.
 func (r *PlanRequest) CacheKey() string {
 	c := *r
+	if r.Perturb != nil {
+		p := *r.Perturb
+		c.Perturb = &p
+	}
 	c.Normalize()
 	return cacheKey(c.Kind(), &c)
 }
@@ -137,6 +214,13 @@ type PlanResponse struct {
 	// DiePeaksC lists the peak temperature of each die layer, bottom
 	// to top, at the chosen step.
 	DiePeaksC []float64 `json:"die_peaks_c,omitempty"`
+	// EvalPeakC is the steady-state peak temperature at the request's
+	// fixed EvalGHz step; only present when eval_ghz was set. Unlike
+	// the fields above it is reported even for infeasible plans — the
+	// montecarlo exceedance estimate needs the temperature of every
+	// sample, including the ones whose stack cannot hold the
+	// threshold at any step.
+	EvalPeakC float64 `json:"eval_peak_c,omitempty"`
 }
 
 // CosimRequest asks for an activity-driven performance↔thermal
@@ -325,13 +409,16 @@ type CosimResponse struct {
 	Series []CosimSample `json:"series,omitempty"`
 }
 
-// Envelope carries exactly one request in a JSON body; the set field
-// names the kind: {"plan": {...}}, {"cosim": {...}} or
-// {"sweep": {...}}.
+// Envelope is the legacy keyed-union submit body: exactly one set
+// field names the kind, {"plan": {...}}, {"cosim": {...}},
+// {"sweep": {...}} or {"montecarlo": {...}}. New clients should use
+// the typed JobEnvelope; both are accepted by POST /v1/jobs (see
+// DecodeJobRequest).
 type Envelope struct {
-	Plan  *PlanRequest  `json:"plan,omitempty"`
-	Cosim *CosimRequest `json:"cosim,omitempty"`
-	Sweep *SweepRequest `json:"sweep,omitempty"`
+	Plan       *PlanRequest       `json:"plan,omitempty"`
+	Cosim      *CosimRequest      `json:"cosim,omitempty"`
+	Sweep      *SweepRequest      `json:"sweep,omitempty"`
+	Montecarlo *MonteCarloRequest `json:"montecarlo,omitempty"`
 }
 
 // Request unwraps the envelope, erroring unless exactly one kind is
@@ -347,11 +434,14 @@ func (e *Envelope) Request() (Request, error) {
 	if e.Sweep != nil {
 		reqs = append(reqs, e.Sweep)
 	}
+	if e.Montecarlo != nil {
+		reqs = append(reqs, e.Montecarlo)
+	}
 	switch len(reqs) {
 	case 1:
 		return reqs[0], nil
 	case 0:
-		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}} or {"sweep": {...}})`)
+		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}}, {"sweep": {...}} or {"montecarlo": {...}})`)
 	}
 	return nil, fmt.Errorf("api: envelope carries %d requests, want exactly one", len(reqs))
 }
@@ -387,6 +477,9 @@ func validGridLoad(nx, ny, chips int) error {
 }
 
 // cacheKey hashes the canonical encoding of a normalized request.
+// The prefix carries the kind's key generation (not SchemaVersion
+// itself), so bumping the schema for one kind cannot wipe the
+// deployed cache entries of the others.
 func cacheKey(kind string, normalized any) string {
 	b, err := json.Marshal(normalized)
 	if err != nil {
@@ -394,7 +487,7 @@ func cacheKey(kind string, normalized any) string {
 		panic(fmt.Sprintf("api: canonical marshal of %s request: %v", kind, err))
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "waterimm/v%d/%s\x00", SchemaVersion, kind)
+	fmt.Fprintf(h, "waterimm/v%d/%s\x00", keyGeneration(kind), kind)
 	h.Write(b)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,109 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JobEnvelope is the canonical submit body of POST /v1/jobs: a type
+// discriminator plus the request payload for that type.
+//
+//	{"type": "montecarlo", "request": {"chips": 4, ...}}
+//
+// Accepted types are "simulate" (alias "plan"), "cosim", "sweep" and
+// "montecarlo". The legacy keyed union (Envelope) is still accepted
+// on the same endpoint — DecodeJobRequest sniffs which shape a body
+// uses — so existing clients keep working unchanged.
+type JobEnvelope struct {
+	Type    string          `json:"type"`
+	Request json.RawMessage `json:"request"`
+}
+
+// jobTypes maps the wire discriminator to a fresh request value.
+// "simulate" is the public name of the plan kind (matching the
+// /v1/simulate endpoint); "plan" is accepted as an alias.
+func jobTypes(t string) (Request, bool) {
+	switch t {
+	case "simulate", "plan":
+		return &PlanRequest{}, true
+	case "cosim":
+		return &CosimRequest{}, true
+	case "sweep":
+		return &SweepRequest{}, true
+	case "montecarlo":
+		return &MonteCarloRequest{}, true
+	}
+	return nil, false
+}
+
+// JobTypeNames lists the accepted type discriminators, for error
+// messages and docs.
+func JobTypeNames() []string {
+	return []string{"simulate", "cosim", "sweep", "montecarlo"}
+}
+
+// Decode unwraps the typed envelope into its request, rejecting
+// unknown types, a missing payload, and unknown payload fields.
+func (e *JobEnvelope) Decode() (Request, error) {
+	req, ok := jobTypes(e.Type)
+	if !ok {
+		return nil, fmt.Errorf("api: job envelope: unknown type %q (want one of %v)", e.Type, JobTypeNames())
+	}
+	if len(e.Request) == 0 {
+		return nil, fmt.Errorf(`api: job envelope: missing "request" payload for type %q`, e.Type)
+	}
+	dec := json.NewDecoder(bytes.NewReader(e.Request))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("api: job envelope: decode %s request: %w", e.Type, err)
+	}
+	return req, nil
+}
+
+// NewJobEnvelope wraps a request in the typed envelope. The plan
+// kind is written under its public name "simulate".
+func NewJobEnvelope(req Request) (*JobEnvelope, error) {
+	t := req.Kind()
+	if t == "plan" {
+		t = "simulate"
+	}
+	if _, ok := jobTypes(t); !ok {
+		return nil, fmt.Errorf("api: job envelope: unsupported request kind %q", req.Kind())
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: job envelope: encode %s request: %w", t, err)
+	}
+	return &JobEnvelope{Type: t, Request: payload}, nil
+}
+
+// DecodeJobRequest decodes a submit body in either accepted shape —
+// the typed JobEnvelope (a "type" member is present) or the legacy
+// keyed union — strictly, rejecting unknown fields in both. It
+// returns the request un-normalized and un-validated; callers apply
+// Normalize/Validate exactly as before.
+func DecodeJobRequest(body []byte) (Request, error) {
+	var probe struct {
+		Type *string `json:"type"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("api: decode job request: %w", err)
+	}
+	if probe.Type != nil {
+		var env JobEnvelope
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			return nil, fmt.Errorf("api: decode job envelope: %w", err)
+		}
+		return env.Decode()
+	}
+	var env Envelope
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("api: decode job request: %w", err)
+	}
+	return env.Request()
+}

@@ -1,0 +1,108 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"waterimm/internal/mc"
+)
+
+func TestDecodeJobRequestTypedEnvelope(t *testing.T) {
+	cases := []struct {
+		body string
+		kind string
+	}{
+		{`{"type": "simulate", "request": {"chips": 2}}`, "plan"},
+		{`{"type": "plan", "request": {"chips": 2}}`, "plan"},
+		{`{"type": "cosim", "request": {"benchmark": "ep"}}`, "cosim"},
+		{`{"type": "sweep", "request": {"depths": [1, 2]}}`, "sweep"},
+		{`{"type": "montecarlo", "request": {"samples": 16, "params": {"h": {"kind": "uniform", "min": 0.5, "max": 2}}}}`, "montecarlo"},
+	}
+	for _, c := range cases {
+		req, err := DecodeJobRequest([]byte(c.body))
+		if err != nil {
+			t.Errorf("decode %s: %v", c.body, err)
+			continue
+		}
+		if req.Kind() != c.kind {
+			t.Errorf("decode %s: kind %q, want %q", c.body, req.Kind(), c.kind)
+		}
+	}
+}
+
+func TestDecodeJobRequestLegacyUnion(t *testing.T) {
+	req, err := DecodeJobRequest([]byte(`{"plan": {"chips": 3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := req.(*PlanRequest)
+	if !ok || p.Chips != 3 {
+		t.Fatalf("legacy union decoded to %#v", req)
+	}
+	// The new kind works through the legacy union too.
+	req, err = DecodeJobRequest([]byte(`{"montecarlo": {"samples": 16, "params": {"h": {"kind": "uniform", "min": 0.5, "max": 2}}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind() != "montecarlo" {
+		t.Fatalf("kind %q, want montecarlo", req.Kind())
+	}
+}
+
+func TestDecodeJobRequestRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown type", `{"type": "frobnicate", "request": {}}`, "unknown type"},
+		{"missing payload", `{"type": "simulate"}`, "missing"},
+		{"unknown envelope field", `{"type": "simulate", "request": {}, "extra": 1}`, "unknown field"},
+		{"unknown payload field", `{"type": "simulate", "request": {"chipz": 1}}`, "unknown field"},
+		{"legacy unknown field", `{"plan": {"chipz": 1}}`, "unknown field"},
+		{"empty body", `{}`, "no request"},
+		{"two legacy kinds", `{"plan": {}, "cosim": {}}`, "exactly one"},
+		{"not json", `nope`, "decode"},
+	}
+	for _, c := range cases {
+		_, err := DecodeJobRequest([]byte(c.body))
+		if err == nil {
+			t.Errorf("%s: decoded without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Round trip: NewJobEnvelope of each kind decodes back to an
+// equivalent request, and the plan kind travels under its public
+// "simulate" name.
+func TestJobEnvelopeRoundTrip(t *testing.T) {
+	reqs := []Request{
+		&PlanRequest{Chips: 2},
+		&CosimRequest{Benchmark: "cg"},
+		&SweepRequest{Depths: []int{1, 2}},
+		&MonteCarloRequest{Samples: 16, Params: map[string]mc.Dist{"h": {Kind: "uniform", Min: 0.5, Max: 2}}},
+	}
+	for _, req := range reqs {
+		env, err := NewJobEnvelope(req)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Kind(), err)
+		}
+		if req.Kind() == "plan" && env.Type != "simulate" {
+			t.Fatalf("plan kind must travel as %q, got %q", "simulate", env.Type)
+		}
+		back, err := env.Decode()
+		if err != nil {
+			t.Fatalf("%s: decode back: %v", req.Kind(), err)
+		}
+		if back.Kind() != req.Kind() {
+			t.Fatalf("round trip kind %q, want %q", back.Kind(), req.Kind())
+		}
+		if back.CacheKey() != req.CacheKey() {
+			t.Fatalf("%s: round trip moved the cache key", req.Kind())
+		}
+	}
+}

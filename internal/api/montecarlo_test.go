@@ -1,0 +1,230 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+
+	"waterimm/internal/mc"
+)
+
+func mcTestRequest() *MonteCarloRequest {
+	return &MonteCarloRequest{
+		Chip: "lp", Samples: 16, Seed: 7,
+		GridNX: 8, GridNY: 8,
+		Params: map[string]mc.Dist{
+			"h":         {Kind: "lognormal", Mean: 1, Sigma: 0.2},
+			"ambient_c": {Kind: "normal", Mean: 30, Sigma: 2},
+		},
+	}
+}
+
+func TestMonteCarloNormalizeDefaults(t *testing.T) {
+	r := &MonteCarloRequest{Params: map[string]mc.Dist{"h": {Kind: "uniform", Min: 0.5, Max: 2}}}
+	r.Normalize()
+	if r.Chip != "low-power" || r.Chips != 1 || r.Coolant != "water" ||
+		r.ThresholdC != 80 || r.GridNX != 32 || r.GridNY != 32 {
+		t.Fatalf("unexpected base defaults: %+v", r)
+	}
+	if r.Samples != 128 || r.Seed != 1 {
+		t.Fatalf("samples/seed defaults: %+v", r)
+	}
+	if r.ExceedC != 80 {
+		t.Fatalf("exceed_c must default to threshold_c, got %g", r.ExceedC)
+	}
+	if r.EvalGHz == 0 {
+		t.Fatal("eval_ghz must default to the chip's top VFS step")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("normalized default request must validate: %v", err)
+	}
+}
+
+func TestMonteCarloValidateRejects(t *testing.T) {
+	okParams := map[string]mc.Dist{"h": {Kind: "uniform", Min: 0.5, Max: 2}}
+	bad := []*MonteCarloRequest{
+		{Chip: "nope", Params: okParams},
+		{Coolant: "nope", Params: okParams},
+		{Chips: 40, Params: okParams},
+		{ThresholdC: 300, Params: okParams},
+		{GridNX: 2, Params: okParams},
+		{EvalGHz: 1.23, Params: okParams}, // not a VFS step
+		{ExceedC: 500, Params: okParams},
+		{Samples: 4, Params: okParams},
+		{Samples: 4096, Params: okParams},
+		{Seed: -1, Params: okParams},
+		{}, // no params
+		{Params: map[string]mc.Dist{"viscosity": {Kind: "uniform", Min: 0, Max: 1}}}, // unknown name
+		{Params: map[string]mc.Dist{"h": {Kind: "beta"}}},                            // bad dist
+		{Params: map[string]mc.Dist{"h": {Kind: "uniform", Min: 100, Max: 200}}},     // support outside window
+		{Samples: 2048, Params: map[string]mc.Dist{ // 2048·(3+2) = 10240 > cap
+			"h":     {Kind: "uniform", Min: 0.5, Max: 2},
+			"die_k": {Kind: "uniform", Min: 0.5, Max: 2},
+			"tim_k": {Kind: "uniform", Min: 0.5, Max: 2},
+		}},
+	}
+	for i, r := range bad {
+		r.Normalize()
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad request %d validated: %+v", i, r)
+		}
+	}
+}
+
+// Two expansions of one request — as if on two independent engines —
+// must agree cell by cell, cache key by cache key. This is the
+// determinism the cross-user, cross-backend cacheability claim rests
+// on.
+func TestMonteCarloCellsDeterministic(t *testing.T) {
+	a := mcTestRequest()
+	a.Normalize()
+	b := mcTestRequest()
+	b.Normalize()
+	cellsA, cellsB := a.Cells(), b.Cells()
+	if len(cellsA) != a.TotalCells() || a.TotalCells() != 16*(2+2) {
+		t.Fatalf("expansion size %d, want %d", len(cellsA), a.TotalCells())
+	}
+	for i := range cellsA {
+		ka, kb := cellsA[i].CacheKey(), cellsB[i].CacheKey()
+		if ka != kb {
+			t.Fatalf("cell %d keys diverge across expansions:\n%s\n%s", i, ka, kb)
+		}
+		if cellsA[i].Perturb == nil {
+			t.Fatalf("cell %d has no perturb", i)
+		}
+		if err := cellsA[i].Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+	}
+	// A different seed must move the cells.
+	c := mcTestRequest()
+	c.Seed = 8
+	c.Normalize()
+	if c.Cells()[0].CacheKey() == cellsA[0].CacheKey() {
+		t.Fatal("seed change did not move the first cell key")
+	}
+	// And the whole-request keys must differ too.
+	if a.CacheKey() == c.CacheKey() {
+		t.Fatal("seed change did not move the montecarlo key")
+	}
+}
+
+// Cells share the plan keyspace: an expanded cell's key equals the
+// key of a hand-built PlanRequest with the same fields.
+func TestMonteCarloCellsSharePlanKeys(t *testing.T) {
+	r := mcTestRequest()
+	r.Normalize()
+	cell := r.Cells()[0]
+	p := &PlanRequest{
+		Chip: cell.Chip, Chips: cell.Chips, Coolant: cell.Coolant,
+		ThresholdC: cell.ThresholdC, GridNX: cell.GridNX, GridNY: cell.GridNY,
+		EvalGHz: cell.EvalGHz,
+		Perturb: &Perturb{H: cell.Perturb.H, AmbientC: cell.Perturb.AmbientC},
+	}
+	if p.CacheKey() != cell.CacheKey() {
+		t.Fatal("expanded cell does not share the plan cache keyspace")
+	}
+}
+
+// The Saltelli structure must survive expansion: cell j and cell
+// (2+k)·N+j agree on every parameter except column k, which comes
+// from B's row j.
+func TestMonteCarloCellsSaltelliStructure(t *testing.T) {
+	r := mcTestRequest()
+	r.Normalize()
+	cells := r.Cells()
+	n := r.Samples
+	// params sorted: ambient_c (col 0), h (col 1)
+	for j := 0; j < n; j++ {
+		a, b := cells[j].Perturb, cells[n+j].Perturb
+		ab0, ab1 := cells[2*n+j].Perturb, cells[3*n+j].Perturb
+		if ab0.AmbientC != b.AmbientC || ab0.H != a.H {
+			t.Fatalf("A_B^ambient row %d: got %+v, want ambient from %+v, h from %+v", j, ab0, b, a)
+		}
+		if ab1.H != b.H || ab1.AmbientC != a.AmbientC {
+			t.Fatalf("A_B^h row %d: got %+v, want h from %+v, ambient from %+v", j, ab1, b, a)
+		}
+	}
+}
+
+func TestMonteCarloCacheKeyCanonical(t *testing.T) {
+	implicit := mcTestRequest()
+	explicit := mcTestRequest()
+	explicit.Chip = "low-power"
+	explicit.Chips = 1
+	explicit.Coolant = "water"
+	explicit.ThresholdC = 80
+	explicit.ExceedC = 80
+	if implicit.CacheKey() != explicit.CacheKey() {
+		t.Fatal("canonicalization broken for montecarlo")
+	}
+	// CacheKey must not mutate the receiver.
+	if implicit.Chip != "lp" || implicit.ExceedC != 0 {
+		t.Fatalf("CacheKey mutated the request: %+v", implicit)
+	}
+}
+
+func TestPerturbNormalization(t *testing.T) {
+	// An empty perturb folds onto the nil (nominal) canonical form.
+	withEmpty := &PlanRequest{Perturb: &Perturb{}}
+	plain := &PlanRequest{}
+	if withEmpty.CacheKey() != plain.CacheKey() {
+		t.Fatal(`{"perturb":{}} and no perturb must share a cache key`)
+	}
+	// Quantization folds 6-significant-digit-equal spellings.
+	a := &PlanRequest{Perturb: &Perturb{H: 1.23456749}}
+	b := &PlanRequest{Perturb: &Perturb{H: 1.23456651}}
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatal("quantization did not fold nearby perturb spellings")
+	}
+	// But a real perturb is a distinct request.
+	c := &PlanRequest{Perturb: &Perturb{H: 1.5}}
+	if c.CacheKey() == plain.CacheKey() {
+		t.Fatal("perturbed and nominal requests collide")
+	}
+}
+
+func TestPerturbValidate(t *testing.T) {
+	bad := []*Perturb{
+		{H: 0.01}, {DieK: 50}, {AmbientC: 2}, {AmbientC: 90}, {PStat: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad perturb %d validated: %+v", i, p)
+		}
+	}
+	ok := &Perturb{DieK: 0.8, H: 1.2, AmbientC: 30, PDyn: 1.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("good perturb rejected: %v", err)
+	}
+}
+
+func TestPlanEvalGHzValidate(t *testing.T) {
+	r := &PlanRequest{EvalGHz: 1.23}
+	r.Normalize()
+	if err := r.Validate(); err == nil {
+		t.Fatal("off-step eval_ghz validated")
+	}
+	ok := &PlanRequest{EvalGHz: 1.0}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("on-step eval_ghz rejected: %v", err)
+	}
+}
+
+// The canonical montecarlo encoding is part of the v3 cache-key
+// contract, frozen the same way the plan encoding is.
+func TestMonteCarloCanonicalEncodingFrozen(t *testing.T) {
+	r := &MonteCarloRequest{Params: map[string]mc.Dist{"h": {Kind: "uniform", Min: 0.5, Max: 2}}}
+	r.Normalize()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"chip":"low-power","chips":1,"coolant":"water","threshold_c":80,` +
+		`"flip":false,"converge_leakage":false,"grid_nx":32,"grid_ny":32,` +
+		`"eval_ghz":2,"exceed_c":80,"samples":128,"seed":1,` +
+		`"params":{"h":{"kind":"uniform","min":0.5,"max":2}}}`
+	if string(b) != want {
+		t.Fatalf("canonical montecarlo encoding changed (bump its keyGeneration?):\n got %s\nwant %s", b, want)
+	}
+}

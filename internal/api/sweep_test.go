@@ -154,29 +154,8 @@ func TestSweepEnvelope(t *testing.T) {
 	}
 }
 
-// TestCacheKeysFrozen pins the exact cache keys of the default
-// requests under SchemaVersion 2. These are golden values: if this
-// test fails, the canonical encoding changed — bump SchemaVersion so
-// stale cache entries cannot be returned, then update the literals.
-func TestCacheKeysFrozen(t *testing.T) {
-	golden := map[string]struct {
-		req Request
-		key string
-	}{
-		"plan":  {&PlanRequest{}, "74deff74634e3de3f156649131016c1e84cef864e382f4e8ed94aa532745e336"},
-		"cosim": {&CosimRequest{}, "98e0a57c97b7fa77c576ebf5e87971f35d29451483dd8969ee40e5c2a1bd586f"},
-		"sweep": {&SweepRequest{}, "0694c08f506705ce7c679cc552cbd267aeebd50baf534431ee287e813938f06c"},
-	}
-	if SchemaVersion != 2 {
-		t.Fatalf("SchemaVersion is %d; regenerate the golden keys for it", SchemaVersion)
-	}
-	for kind, g := range golden {
-		if got := g.req.CacheKey(); got != g.key {
-			t.Errorf("%s default cache key drifted:\n got %s\nwant %s\n(encoding changed? bump SchemaVersion and refreeze)",
-				kind, got, g.key)
-		}
-	}
-}
+// The golden cache keys for every kind now live in golden_test.go
+// (TestCacheKeysFrozen), which pins them across the v3 schema bump.
 
 // The grid node budget must also reject a plan request that the
 // per-axis bounds alone would admit.

@@ -53,6 +53,29 @@ type Planner struct {
 	// count, preconditioner kind). The service wires this into
 	// /v1/metrics; it must be safe for concurrent calls.
 	OnSolve func(thermal.SolveStats)
+	// DynScale and StatScale scale the chip's dynamic and static
+	// power everywhere the planner assigns it (0 means nominal, i.e.
+	// 1.0) — the montecarlo workload's power-model uncertainty knobs.
+	// Both the superposition basis and the cold-start baseline apply
+	// them at their power choke points, so scaled sessions stay
+	// exactly as consistent as nominal ones.
+	DynScale  float64
+	StatScale float64
+}
+
+// dynScale and statScale resolve the 0-means-nominal convention.
+func (p *Planner) dynScale() float64 {
+	if p.DynScale > 0 {
+		return p.DynScale
+	}
+	return 1
+}
+
+func (p *Planner) statScale() float64 {
+	if p.StatScale > 0 {
+		return p.StatScale
+	}
+	return 1
 }
 
 // NewPlanner returns a Planner with Table 2 parameters and the
@@ -162,21 +185,46 @@ func (p *Planner) MaxFrequencyCtx(ctx context.Context, chip power.Model, chips i
 // search runs in one Session, so the field is one warm re-solve away.
 // The Result is nil for infeasible plans.
 func (p *Planner) MaxFrequencyResultCtx(ctx context.Context, chip power.Model, chips int, coolant material.Coolant) (Plan, *thermal.Result, error) {
+	plan, res, _, err := p.maxFrequency(ctx, chip, chips, coolant, 0)
+	return plan, res, err
+}
+
+// MaxFrequencyEvalCtx is MaxFrequencyResultCtx plus one extra warm
+// solve at the fixed VFS step evalFHz, returning that step's peak
+// temperature. Unlike the search outcome, the eval peak is produced
+// even when the plan is infeasible — the montecarlo exceedance
+// estimate needs a temperature for every sample, especially the ones
+// whose stack cannot hold the threshold. The eval solve shares the
+// search's session and superposition basis, so it costs a few
+// verification CG iterations, not an assembly.
+func (p *Planner) MaxFrequencyEvalCtx(ctx context.Context, chip power.Model, chips int, coolant material.Coolant, evalFHz float64) (Plan, *thermal.Result, float64, error) {
+	return p.maxFrequency(ctx, chip, chips, coolant, evalFHz)
+}
+
+func (p *Planner) maxFrequency(ctx context.Context, chip power.Model, chips int, coolant material.Coolant, evalFHz float64) (Plan, *thermal.Result, float64, error) {
 	steps := chip.Steps()
 	if len(steps) == 0 {
-		return Plan{}, nil, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
+		return Plan{}, nil, 0, fmt.Errorf("core: chip %s has an empty VFS table", chip.Name)
 	}
 	plan := Plan{Chip: chip, Chips: chips, Coolant: coolant}
 	s, err := p.NewSession(chip, chips, coolant)
 	if err != nil {
-		return Plan{}, nil, err
+		return Plan{}, nil, 0, err
 	}
 	defer s.Close()
 	// The search probes many VFS steps of one geometry: build the
 	// superposition basis up front so every probe is a near-free
 	// verification solve.
 	if err := s.Prime(ctx); err != nil {
-		return Plan{}, nil, err
+		return Plan{}, nil, 0, err
+	}
+
+	// evalPeak runs the fixed-step evaluation inside the same session.
+	evalPeak := func() (float64, error) {
+		if evalFHz == 0 {
+			return 0, nil
+		}
+		return s.Peak(ctx, evalFHz)
 	}
 
 	peakAt := func(i int) (float64, error) {
@@ -189,17 +237,21 @@ func (p *Planner) MaxFrequencyResultCtx(ctx context.Context, chip power.Model, c
 	// Infeasible if the slowest step already violates the threshold.
 	peak, err := peakAt(0)
 	if err != nil {
-		return Plan{}, nil, err
+		return Plan{}, nil, 0, err
 	}
 	if peak > p.ThresholdC {
-		return plan, nil, nil
+		ev, err := evalPeak()
+		if err != nil {
+			return Plan{}, nil, 0, err
+		}
+		return plan, nil, ev, nil
 	}
 	// lo is always admissible, hi (when in range) is not.
 	lo, hi := 0, len(steps)
 	loPeak := peak
 	if hi > 1 {
 		if peak, err = peakAt(len(steps) - 1); err != nil {
-			return Plan{}, nil, err
+			return Plan{}, nil, 0, err
 		}
 		if peak <= p.ThresholdC {
 			lo, loPeak = len(steps)-1, peak
@@ -211,7 +263,7 @@ func (p *Planner) MaxFrequencyResultCtx(ctx context.Context, chip power.Model, c
 		mid := (lo + hi) / 2
 		peak, err := peakAt(mid)
 		if err != nil {
-			return Plan{}, nil, err
+			return Plan{}, nil, 0, err
 		}
 		if peak <= p.ThresholdC {
 			lo, loPeak = mid, peak
@@ -222,14 +274,20 @@ func (p *Planner) MaxFrequencyResultCtx(ctx context.Context, chip power.Model, c
 	plan.Feasible = true
 	plan.Step = steps[lo]
 	plan.PeakC = loPeak
+	// The eval solve runs before the final field solve so the
+	// returned Result's field really is the winning step's.
+	ev, err := evalPeak()
+	if err != nil {
+		return Plan{}, nil, 0, err
+	}
 	// One warm re-solve at the winner for the full field (the search
 	// only retained peaks; the previous solve was usually a neighbour
 	// step, so CG converges in a handful of iterations).
 	res, _, err := s.Solve(ctx, steps[lo].FHz)
 	if err != nil {
-		return Plan{}, nil, err
+		return Plan{}, nil, 0, err
 	}
-	return plan, res, nil
+	return plan, res, ev, nil
 }
 
 // MaxFrequencySweep runs MaxFrequency for chip counts 1..maxChips and

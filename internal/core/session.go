@@ -202,9 +202,12 @@ func (s *Session) buildBasis(ctx context.Context) error {
 		return fmt.Errorf("core: chip %s has an empty VFS table", s.chip.Name)
 	}
 	ref := steps[len(steps)-1]
+	// The planner's power scales fold into the reference magnitudes
+	// (and, symmetrically, into every step's coefficients in solveAt),
+	// so a scaled session's basis is as exact as a nominal one.
 	b := &sessionBasis{
-		refDyn:  ref.DynamicW,
-		refStat: s.chip.StaticAt(ref, s.p.leakTemp(s.chip)),
+		refDyn:  ref.DynamicW * s.p.dynScale(),
+		refStat: s.chip.StaticAt(ref, s.p.leakTemp(s.chip)) * s.p.statScale(),
 	}
 	// One absolute residual target for all three basis solves: the
 	// cold-start residual of the reference step's full power. Without
@@ -279,14 +282,15 @@ func (s *Session) solveAt(ctx context.Context, step power.Step, leakTemp float64
 	if s.p.ColdStart {
 		return s.coldSolveAt(ctx, step, leakTemp)
 	}
-	staticW := s.chip.StaticAt(step, leakTemp)
+	dynamicW := step.DynamicW * s.p.dynScale()
+	staticW := s.chip.StaticAt(step, leakTemp) * s.p.statScale()
 	s.solves++
 	if s.basis == nil && s.solves >= 2 {
 		if err := s.buildBasis(ctx); err != nil {
 			return nil, err
 		}
 	}
-	if err := s.setPower(step.DynamicW, staticW); err != nil {
+	if err := s.setPower(dynamicW, staticW); err != nil {
 		return nil, err
 	}
 	if b := s.basis; b != nil {
@@ -295,7 +299,7 @@ func (s *Session) solveAt(ctx context.Context, step power.Step, leakTemp float64
 		}
 		var a, c float64
 		if b.dyn != nil {
-			a = step.DynamicW / b.refDyn
+			a = dynamicW / b.refDyn
 		}
 		if b.stat != nil {
 			c = staticW / b.refStat
@@ -331,8 +335,15 @@ func (s *Session) solveAt(ctx context.Context, step power.Step, leakTemp float64
 // as N independent plan requests would. Kept behind Planner.ColdStart
 // for benchmarks and the equivalence tests.
 func (s *Session) coldSolveAt(ctx context.Context, step power.Step, leakTemp float64) (*thermal.Result, error) {
-	base, err := mcpat.ChipAt(s.chip, step, leakTemp)
+	base, err := floorplan.ForModel(s.chip.Name)
 	if err != nil {
+		return nil, err
+	}
+	// Assign the same scaled power split the warm path uses (with
+	// nominal scales this is exactly mcpat.ChipAt).
+	dynamicW := step.DynamicW * s.p.dynScale()
+	staticW := s.chip.StaticAt(step, leakTemp) * s.p.statScale()
+	if err := mcpat.AssignParts(base, s.chip, dynamicW, staticW); err != nil {
 		return nil, err
 	}
 	flipped := base.Rotate180()

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -72,6 +73,9 @@ func NewHandler(e *service.Engine, opts Options) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		s.sync(w, r, &api.SweepRequest{})
+	})
+	mux.HandleFunc("POST /v1/montecarlo", func(w http.ResponseWriter, r *http.Request) {
+		s.sync(w, r, &api.MonteCarloRequest{})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -272,13 +276,17 @@ func (s *server) sync(w http.ResponseWriter, r *http.Request, req api.Request) {
 	}
 }
 
+// submit is the canonical job-submission endpoint: it accepts the
+// typed envelope ({"type": ..., "request": {...}}) as well as the
+// legacy keyed union ({"sweep": {...}}), dispatching on the body's
+// shape (api.DecodeJobRequest).
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	var env api.Envelope
-	if err := decodeBody(r, &env); err != nil {
-		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	req, err := env.Request()
+	req, err := api.DecodeJobRequest(body)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return

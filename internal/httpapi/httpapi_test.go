@@ -206,7 +206,7 @@ func TestDiskCacheAcrossRestart(t *testing.T) {
 	newerBody := `{"chip": "lp", "chips": 2, "grid_nx": 8, "grid_ny": 8}`
 	newer := &api.PlanRequest{Chip: "lp", Chips: 2, GridNX: 8, GridNY: 8}
 
-	store1, err := rcache.Open(dir, 64<<20, api.SchemaVersion)
+	store1, err := rcache.Open(dir, 64<<20, api.CacheGeneration)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestDiskCacheAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	store2, err := rcache.Open(dir, 64<<20, api.SchemaVersion)
+	store2, err := rcache.Open(dir, 64<<20, api.CacheGeneration)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,392 @@
+// Package mc provides the Monte-Carlo machinery behind the
+// montecarlo workload: deterministic seeded sampling of declared
+// input distributions, the Saltelli paired sample plan that makes
+// first-order and total-order Sobol indices estimable from N·(d+2)
+// model evaluations, and the reduction of sample outputs into
+// summary distributions (quantiles, exceedance probabilities) and
+// per-parameter sensitivity indices.
+//
+// Everything here is bit-deterministic for a fixed (seed,
+// distributions, N) tuple: the generator is an explicit splitmix64
+// stream and normal deviates come from our own Box–Muller transform,
+// not math/rand's ziggurat, so the sample plan cannot drift across Go
+// releases or platforms. That determinism is load-bearing — the api
+// layer expands each sample row into a canonical per-sample cell
+// whose cache key must be identical on every engine and every router
+// backend that sees the same request.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rand is a deterministic splitmix64 stream. The algorithm is fixed
+// here (not delegated to math/rand) so the sample plan for a given
+// seed is stable across Go versions, architectures and processes.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with the given value. Distinct
+// seeds give statistically independent streams for this use.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 advances the stream (splitmix64, Steele et al. 2014).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform deviate in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal deviate via the Box–Muller
+// transform. Each call consumes exactly two uniforms and discards the
+// paired deviate, keeping the stream position a simple function of
+// the call count.
+func (r *Rand) Norm() float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	// Guard u1 = 0: log(0) is -Inf. The smallest representable draw
+	// is 2^-53, so substitute it.
+	if u1 == 0 {
+		u1 = 1.0 / (1 << 53)
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Dist declares one input distribution. Kind selects the family:
+//
+//   - "uniform": uniform on [Min, Max].
+//   - "normal": mean Mean, standard deviation Sigma, optionally
+//     truncated to [Min, Max] when Min < Max.
+//   - "lognormal": median Mean (the underlying normal has μ =
+//     ln(Mean)), log-space standard deviation Sigma, optionally
+//     truncated to [Min, Max] when Min < Max.
+//
+// For normal and lognormal, Min == Max == 0 means untruncated.
+type Dist struct {
+	Kind  string  `json:"kind"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+}
+
+// truncated reports whether an explicit [Min, Max] window applies.
+func (d Dist) truncated() bool { return d.Min < d.Max }
+
+// Validate reports the first invalid field.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case "uniform":
+		if !(d.Min < d.Max) {
+			return fmt.Errorf("mc: uniform needs min < max, got [%g, %g]", d.Min, d.Max)
+		}
+	case "normal":
+		if d.Sigma <= 0 {
+			return fmt.Errorf("mc: normal needs sigma > 0, got %g", d.Sigma)
+		}
+		if (d.Min != 0 || d.Max != 0) && !d.truncated() {
+			return fmt.Errorf("mc: normal truncation needs min < max, got [%g, %g]", d.Min, d.Max)
+		}
+	case "lognormal":
+		if d.Mean <= 0 {
+			return fmt.Errorf("mc: lognormal needs a positive median mean, got %g", d.Mean)
+		}
+		if d.Sigma <= 0 {
+			return fmt.Errorf("mc: lognormal needs sigma > 0, got %g", d.Sigma)
+		}
+		if (d.Min != 0 || d.Max != 0) && !d.truncated() {
+			return fmt.Errorf("mc: lognormal truncation needs min < max, got [%g, %g]", d.Min, d.Max)
+		}
+	default:
+		return fmt.Errorf("mc: unknown distribution kind %q (want uniform, normal or lognormal)", d.Kind)
+	}
+	return nil
+}
+
+// Support returns the interval samples can land in, for range checks
+// against a parameter's physical domain.
+func (d Dist) Support() (lo, hi float64) {
+	switch d.Kind {
+	case "uniform":
+		return d.Min, d.Max
+	case "normal":
+		if d.truncated() {
+			return d.Min, d.Max
+		}
+		return math.Inf(-1), math.Inf(1)
+	case "lognormal":
+		if d.truncated() {
+			return d.Min, d.Max
+		}
+		return 0, math.Inf(1)
+	}
+	return math.Inf(-1), math.Inf(1)
+}
+
+// maxRejects bounds the truncation rejection loop; past it the draw
+// is clamped into [Min, Max]. With any non-degenerate window the loop
+// virtually never reaches the bound, and because rejection consumes a
+// deterministic (input-dependent) number of stream steps, the whole
+// plan stays reproducible either way.
+const maxRejects = 64
+
+// Sample draws one deviate. Validate first; Sample assumes a valid
+// distribution.
+func (d Dist) Sample(r *Rand) float64 {
+	switch d.Kind {
+	case "uniform":
+		return d.Min + (d.Max-d.Min)*r.Float64()
+	case "normal":
+		for i := 0; i < maxRejects; i++ {
+			v := d.Mean + d.Sigma*r.Norm()
+			if !d.truncated() || (v >= d.Min && v <= d.Max) {
+				return v
+			}
+		}
+		return math.Min(d.Max, math.Max(d.Min, d.Mean))
+	case "lognormal":
+		mu := math.Log(d.Mean)
+		for i := 0; i < maxRejects; i++ {
+			v := math.Exp(mu + d.Sigma*r.Norm())
+			if !d.truncated() || (v >= d.Min && v <= d.Max) {
+				return v
+			}
+		}
+		return math.Min(d.Max, math.Max(d.Min, d.Mean))
+	}
+	panic("mc: Sample on invalid Dist (missing Validate?)")
+}
+
+// Plan is a Saltelli paired sample plan over d parameters: two
+// independent N×d matrices A and B, plus for each parameter k the
+// hybrid matrix A_B^k (A with column k replaced from B). Rows lists
+// them in canonical order — A's rows, then B's, then A_B^0 … A_B^(d-1)
+// — for a total of N·(d+2) rows. Evaluating the model once per row is
+// exactly what SobolIndices needs, and rows 0 … 2N-1 (A ∪ B) are 2N
+// plain independent samples for quantile and exceedance estimates.
+type Plan struct {
+	N    int
+	D    int
+	Rows [][]float64
+}
+
+// NewPlan draws the plan. Samples are drawn parameter-major from a
+// single stream — all N draws of parameter 0's A column, then
+// parameter 1's, and so on, then the B matrix — so the plan for a
+// given (seed, dists, n) is one fixed sequence of stream calls.
+func NewPlan(seed uint64, dists []Dist, n int) *Plan {
+	d := len(dists)
+	r := NewRand(seed)
+	colA := make([][]float64, d)
+	colB := make([][]float64, d)
+	for k, dist := range dists {
+		colA[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			colA[k][i] = dist.Sample(r)
+		}
+	}
+	for k, dist := range dists {
+		colB[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			colB[k][i] = dist.Sample(r)
+		}
+	}
+	rows := make([][]float64, 0, n*(d+2))
+	rowFrom := func(cols [][]float64, i int) []float64 {
+		row := make([]float64, d)
+		for k := 0; k < d; k++ {
+			row[k] = cols[k][i]
+		}
+		return row
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, rowFrom(colA, i))
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, rowFrom(colB, i))
+	}
+	for k := 0; k < d; k++ {
+		for i := 0; i < n; i++ {
+			row := rowFrom(colA, i)
+			row[k] = colB[k][i]
+			rows = append(rows, row)
+		}
+	}
+	return &Plan{N: n, D: d, Rows: rows}
+}
+
+// Sobol carries the two sensitivity indices of one input parameter:
+// S1, the first-order index (variance share explained by the
+// parameter alone), and ST, the total-order index (share including
+// all interactions). Both are Monte-Carlo estimates clamped to
+// [0, 1]; with N in the hundreds expect a few percent of noise.
+type Sobol struct {
+	S1 float64 `json:"s1"`
+	ST float64 `json:"st"`
+}
+
+// SobolIndices estimates S1 and ST for each parameter from model
+// outputs f aligned with Plan.Rows (len N·(d+2)). It uses the
+// Saltelli/Jansen estimators (Saltelli et al. 2010, eqs. (b) and
+// (f)):
+//
+//	S1_k = mean_j( (f_B[j] − μ) · (f_ABk[j] − f_A[j]) ) / V
+//	ST_k = mean_j( (f_A[j] − f_ABk[j])² ) / (2·V)
+//
+// with μ and V the mean and variance of f over A ∪ B. Centering on μ
+// leaves the expectation untouched (f_ABk − f_A is mean-free) but
+// removes the μ·(mean f_ABk − mean f_A) noise term, which for outputs
+// whose mean dwarfs their spread — temperatures in °C — would
+// otherwise bury the signal. A zero-variance output yields all-zero
+// indices.
+func SobolIndices(n, d int, f []float64) []Sobol {
+	if len(f) != n*(d+2) {
+		panic(fmt.Sprintf("mc: SobolIndices wants %d outputs for N=%d, d=%d; got %d", n*(d+2), n, d, len(f)))
+	}
+	fA := f[:n]
+	fB := f[n : 2*n]
+	m := Moments(f[:2*n])
+	out := make([]Sobol, d)
+	if m.Var == 0 {
+		return out
+	}
+	for k := 0; k < d; k++ {
+		fAB := f[(2+k)*n : (3+k)*n]
+		var s1, st float64
+		for j := 0; j < n; j++ {
+			s1 += (fB[j] - m.Mean) * (fAB[j] - fA[j])
+			diff := fA[j] - fAB[j]
+			st += diff * diff
+		}
+		out[k] = Sobol{
+			S1: clamp01(s1 / (float64(n) * m.Var)),
+			ST: clamp01(st / (2 * float64(n) * m.Var)),
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Summary describes an output distribution over independent samples.
+type Summary struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	P5   float64 `json:"p5"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize reduces samples to mean, standard deviation, and the
+// P5/P50/P95 quantiles. Empty input yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	m := Moments(values)
+	return Summary{
+		Mean: m.Mean,
+		Std:  math.Sqrt(m.Var),
+		P5:   Quantile(sorted, 0.05),
+		P50:  Quantile(sorted, 0.50),
+		P95:  Quantile(sorted, 0.95),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// MomentsResult carries the mean and the population variance.
+type MomentsResult struct {
+	Mean float64
+	Var  float64
+}
+
+// Moments computes mean and population variance in one stable pass
+// (Welford).
+func Moments(values []float64) MomentsResult {
+	var mean, m2 float64
+	for i, v := range values {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
+	}
+	if len(values) == 0 {
+		return MomentsResult{}
+	}
+	return MomentsResult{Mean: mean, Var: m2 / float64(len(values))}
+}
+
+// Quantile interpolates the q-quantile (0 ≤ q ≤ 1) of an ascending
+// sorted slice, using the linear interpolation of the empirical CDF
+// (type 7, the numpy/R default).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo, hi = 0, 0
+	}
+	if hi >= len(sorted) {
+		lo, hi = len(sorted)-1, len(sorted)-1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Exceedance is the fraction of samples strictly above the threshold
+// — the Monte-Carlo estimate of P(X > threshold).
+func Exceedance(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// RoundSig rounds x to the given number of significant decimal
+// digits. The api layer quantizes sampled parameter values with it so
+// the canonical cell encodings stay short and two floats that agree
+// to 6 significant digits share one cache key.
+func RoundSig(x float64, digits int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	mag := math.Ceil(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, float64(digits)-mag)
+	return math.Round(x*scale) / scale
+}

@@ -1,0 +1,119 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/rcache"
+)
+
+const mcJobBody = `{"type": "montecarlo", "request": {"chip": "lp", "chips": 1, "coolant": "water", "grid_nx": 8, "grid_ny": 8, "samples": 8, "seed": 5, "params": {"ambient_c": {"kind": "normal", "mean": 30, "sigma": 2}}}}`
+
+// TestRouterMonteCarloSurvivesBackendKill is the regression test for
+// the montecarlo workload behind the routed job envelope: an async
+// montecarlo job submitted through POST /v1/jobs at the edge completes
+// even when a non-owning backend dies mid-run, the finished result is
+// harvested into the edge store, and an identical resubmit — after the
+// owning backend is ALSO dead — is answered entirely from the edge
+// with zero additional backend computes.
+func TestRouterMonteCarloSurvivesBackendKill(t *testing.T) {
+	store, err := rcache.Open(t.TempDir(), 0, api.CacheGeneration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFleet(t, 3, store)
+	c := f.client(t)
+	ctx := context.Background()
+
+	resp, body := postJSON(t, f.edge.URL+"/v1/jobs", mcJobBody)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var j struct {
+		ID   string `json:"id"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != "montecarlo" {
+		t.Fatalf("kind %q: %s", j.Kind, body)
+	}
+	owner, _, ok := strings.Cut(j.ID, affinitySep)
+	if !ok || f.router.byID[owner] == nil {
+		t.Fatalf("job ID %q carries no backend affinity", j.ID)
+	}
+
+	// Kill a backend that does NOT own the job: polls must keep
+	// reaching the owner untroubled by a dying peer.
+	for i, b := range f.router.backends {
+		if b.ID != owner {
+			f.servers[i].Close()
+			break
+		}
+	}
+
+	ctxWait, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	final, err := c.WaitJob(ctxWait, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var mcResp api.MonteCarloResponse
+	if err := json.Unmarshal(final.Result, &mcResp); err != nil {
+		t.Fatal(err)
+	}
+	if mcResp.TotalCells != 24 || len(mcResp.Sobol) != 1 {
+		t.Fatalf("implausible montecarlo result via router: %s", final.Result)
+	}
+	if snap := f.router.Metrics(); snap.EdgeCacheHarvests != 1 {
+		t.Fatalf("result poll did not harvest into the edge store: %+v", snap)
+	}
+
+	// Kill the owner too. The identical resubmit can only succeed if
+	// the edge store answers it — and the fleet must do zero new work.
+	done := f.jobsDone()
+	for i, b := range f.router.backends {
+		if b.ID == owner {
+			f.servers[i].Close()
+			break
+		}
+	}
+	resp2, body2 := postJSON(t, f.edge.URL+"/v1/jobs", mcJobBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp2.StatusCode, body2)
+	}
+	var j2 struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(body2, &j2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(j2.ID, edgeBackendID+affinitySep) || j2.State != "done" || !j2.CacheHit {
+		t.Fatalf("resubmit not edge-served: %s", body2)
+	}
+	final2, err := c.Result(ctx, j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mcResp2 api.MonteCarloResponse
+	if err := json.Unmarshal(final2.Result, &mcResp2); err != nil {
+		t.Fatal(err)
+	}
+	if mcResp2.ExceedProb != mcResp.ExceedProb || mcResp2.EvalPeakC != mcResp.EvalPeakC {
+		t.Fatalf("edge-served result diverges:\n first: %+v\nsecond: %+v", mcResp, mcResp2)
+	}
+	if got := f.jobsDone(); got != done {
+		t.Fatalf("identical resubmit recomputed on a backend (%d → %d jobs done)", done, got)
+	}
+}

@@ -39,7 +39,7 @@ type Config struct {
 	Backends []string
 	// EdgeCache is the router's own disk tier (nil disables it).
 	// Keyed identically to the backends' caches (canonical request
-	// hash, api.SchemaVersion), so repeat traffic is answered at the
+	// hash, api.CacheGeneration), so repeat traffic is answered at the
 	// edge with zero backend computes and a replaced backend
 	// effectively warms from the router's copy.
 	EdgeCache *rcache.Store
@@ -195,6 +195,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		rt.syncProxy(w, r, &api.SweepRequest{})
 	})
+	mux.HandleFunc("POST /v1/montecarlo", func(w http.ResponseWriter, r *http.Request) {
+		rt.syncProxy(w, r, &api.MonteCarloRequest{})
+	})
 	mux.HandleFunc("POST /v1/jobs", rt.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.jobProxy)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.jobProxy)
@@ -309,12 +312,10 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.ErrCodeBadRequest, err)
 		return
 	}
-	var env api.Envelope
-	if err := decodeStrict(body, &env); err != nil {
-		httpapi.WriteError(w, http.StatusBadRequest, httpapi.ErrCodeBadRequest, err)
-		return
-	}
-	req, err := env.Request()
+	// Decode exactly as the backends do — typed envelope or legacy
+	// keyed union — so a malformed submission dies at the edge and a
+	// valid one shards on the same canonical key either way.
+	req, err := api.DecodeJobRequest(body)
 	if err != nil {
 		httpapi.WriteError(w, http.StatusBadRequest, httpapi.ErrCodeBadRequest, err)
 		return

@@ -165,7 +165,7 @@ func TestRouterShardsDistinctKeys(t *testing.T) {
 // traffic.
 func TestRouterEdgeCachePersistsAcrossFleetWipe(t *testing.T) {
 	dir := t.TempDir()
-	store, err := rcache.Open(dir, 0, api.SchemaVersion)
+	store, err := rcache.Open(dir, 0, api.CacheGeneration)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestRouterEdgeCachePersistsAcrossFleetWipe(t *testing.T) {
 
 	// Rebuild everything from scratch — new engines with empty caches,
 	// new router — around the surviving edge-cache directory.
-	store2, err := rcache.Open(dir, 0, api.SchemaVersion)
+	store2, err := rcache.Open(dir, 0, api.CacheGeneration)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestRouterAsyncAffinity(t *testing.T) {
 // same request is answered as a synthetic already-done "edge!" job
 // with zero backend traffic.
 func TestRouterEdgeServesAsyncSubmitAndHarvestsResults(t *testing.T) {
-	store, err := rcache.Open(t.TempDir(), 0, api.SchemaVersion)
+	store, err := rcache.Open(t.TempDir(), 0, api.CacheGeneration)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,8 @@ func decodeResult(kind string, payload []byte) (any, error) {
 		res = &api.CosimResponse{}
 	case "sweep":
 		res = &api.SweepResponse{}
+	case "montecarlo":
+		res = &api.MonteCarloResponse{}
 	default:
 		return nil, fmt.Errorf("service: unknown cached result kind %q", kind)
 	}

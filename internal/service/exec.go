@@ -15,8 +15,9 @@ import (
 
 // execute dispatches a validated, normalized request to its solver.
 // The context is threaded into the solver loops, so cancelling it
-// abandons the simulation promptly. Sweep requests never reach here;
-// the engine orchestrates them in runSweep.
+// abandons the simulation promptly. Sweep and montecarlo requests
+// never reach here; the engine orchestrates them in runSweep and
+// runMonteCarlo.
 func (e *Engine) execute(ctx context.Context, req api.Request) (any, error) {
 	switch r := req.(type) {
 	case *api.PlanRequest:
@@ -49,12 +50,16 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 	// kind to /v1/metrics (observeSolve is lock-protected, so the
 	// concurrent sessions of a sweep can share the observer).
 	p.OnSolve = e.metrics.observeSolve
+	applyPerturb(p, &coolant, r.Perturb)
 
-	plan, res, err := p.MaxFrequencyResultCtx(ctx, chip, r.Chips, coolant)
+	// EvalGHz asks for an extra fixed-step solve inside the same
+	// session: the peak temperature at that step comes back even when
+	// no step is admissible, which is what exceedance statistics need.
+	plan, res, evalPeak, err := p.MaxFrequencyEvalCtx(ctx, chip, r.Chips, coolant, r.EvalGHz*1e9)
 	if err != nil {
 		return nil, err
 	}
-	resp := &api.PlanResponse{Feasible: plan.Feasible}
+	resp := &api.PlanResponse{Feasible: plan.Feasible, EvalPeakC: evalPeak}
 	if !plan.Feasible {
 		return resp, nil
 	}
@@ -69,6 +74,34 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 		resp.DiePeaksC[i] = res.LayerMax(stack.DieLayer(i))
 	}
 	return resp, nil
+}
+
+// applyPerturb lands a Monte-Carlo sample cell's perturbation vector
+// on the planner and coolant: scale factors over material
+// conductivities, film coefficients and chip power, plus an absolute
+// inlet temperature. The geometry scales change the planner's stack
+// parameters (and coolant), so a perturbed cell gets its own
+// assembly-cache identity; the power scales ride the planner and stay
+// exact under basis superposition.
+func applyPerturb(p *core.Planner, coolant *material.Coolant, pb *api.Perturb) {
+	if pb == nil {
+		return
+	}
+	scale := func(dst *float64, s float64) {
+		if s > 0 {
+			*dst *= s
+		}
+	}
+	scale(&p.Params.DieK, pb.DieK)
+	scale(&p.Params.BondK, pb.BondK)
+	scale(&p.Params.TIMK, pb.TIMK)
+	scale(&p.Params.PipeCoeff, pb.PipeH)
+	scale(&p.Params.BoardAirCoeff, pb.BoardH)
+	scale(&coolant.H, pb.H)
+	if pb.AmbientC > 0 {
+		p.Params.AmbientC = pb.AmbientC
+	}
+	p.DynScale, p.StatScale = pb.PDyn, pb.PStat
 }
 
 func runCosim(ctx context.Context, r *api.CosimRequest) (*api.CosimResponse, error) {

@@ -82,6 +82,15 @@ type metrics struct {
 	cacheMisses      uint64
 	dedupHits        uint64
 
+	// Monte-Carlo workload counters: mcJobs counts montecarlo jobs that
+	// ran their orchestrator (a whole-job cache hit is served without
+	// re-running and counts in cacheHits instead); mcSamplesDeduped
+	// counts sample cells answered without a fresh solve (cache hit or
+	// deduplicated onto an in-flight twin) — the savings the shared
+	// plan keyspace buys.
+	mcJobs           uint64
+	mcSamplesDeduped uint64
+
 	// runEWMAS is an exponentially weighted moving average of job run
 	// times in seconds (α = 0.2), the basis of the engine's queue-wait
 	// prediction and Retry-After hints.
@@ -214,6 +223,14 @@ type Snapshot struct {
 	CacheEntries  int     `json:"cache_entries"`
 	DedupHits     uint64  `json:"dedup_hits"`
 
+	// Monte-Carlo workload: MCJobs counts montecarlo jobs that ran
+	// their orchestrator (whole-job cache hits count in CacheHits);
+	// MCSamplesDeduped counts their sample cells served without a fresh
+	// solve (cache or dedup). MCSamplesDeduped close to the cell count
+	// means the uncertainty sweep rode almost entirely on prior work.
+	MCJobs           uint64 `json:"mc_jobs"`
+	MCSamplesDeduped uint64 `json:"mc_samples_deduped"`
+
 	// Persistent-tier gauges, zero when no -cache-dir is configured.
 	// DiskCacheCorrupt counts entries deleted because they failed an
 	// integrity check (checksum, schema generation, key, decode) —
@@ -261,6 +278,8 @@ func (m *metrics) snapshot() Snapshot {
 		CacheHitsDisk:        m.cacheHitsDisk,
 		CacheMisses:          m.cacheMisses,
 		DedupHits:            m.dedupHits,
+		MCJobs:               m.mcJobs,
+		MCSamplesDeduped:     m.mcSamplesDeduped,
 		LatencyS:             make(map[string]*Histogram, len(m.hists)),
 	}
 	if total := s.CacheHits + m.cacheMisses; total > 0 {

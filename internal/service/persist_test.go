@@ -15,7 +15,7 @@ import (
 // keyed to the current schema generation.
 func openStore(t *testing.T, dir string) *rcache.Store {
 	t.Helper()
-	s, err := rcache.Open(dir, 64<<20, api.SchemaVersion)
+	s, err := rcache.Open(dir, 64<<20, api.CacheGeneration)
 	if err != nil {
 		t.Fatalf("open store %s: %v", dir, err)
 	}

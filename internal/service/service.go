@@ -11,6 +11,7 @@ import (
 
 	"waterimm/internal/api"
 	"waterimm/internal/faultinject"
+	"waterimm/internal/mc"
 	"waterimm/internal/rcache"
 	"waterimm/internal/thermal"
 )
@@ -164,8 +165,8 @@ type JobInfo struct {
 	// ErrorCode classifies a failure with a stable machine code (the
 	// Code* constants); empty for done jobs.
 	ErrorCode string `json:"error_code,omitempty"`
-	// Progress is the per-cell completion state of a sweep job,
-	// updated live while the sweep runs; nil for other kinds.
+	// Progress is the per-cell completion state of a sweep or
+	// montecarlo job, updated live while it runs; nil for other kinds.
 	Progress *api.SweepProgress `json:"progress,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
@@ -198,7 +199,8 @@ type job struct {
 	ctx    context.Context
 	done   chan struct{}
 
-	// progress is sweep-only, written under Engine.mu as cells finish.
+	// progress is set for sweep and montecarlo jobs, written under
+	// Engine.mu as cells finish.
 	progress *api.SweepProgress
 }
 
@@ -387,6 +389,20 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		e.inflight[key] = j
 		e.sweeps.Add(1)
 		go e.runSweep(j, sweep)
+		return j.info(), nil
+	}
+
+	// A montecarlo job is the same shape of orchestrator as a sweep: it
+	// expands its Saltelli plan into plan-request cells, fans them out
+	// through the internal submit path (caching, dedup, shedding and
+	// deadlines all apply per cell) and reduces the results to
+	// statistics. It shares the sweeps WaitGroup so Drain covers it.
+	if mcr, ok := req.(*api.MonteCarloRequest); ok {
+		j.progress = &api.SweepProgress{TotalCells: mcr.TotalCells()}
+		e.inflight[key] = j
+		e.metrics.add(&e.metrics.mcJobs, 1)
+		e.sweeps.Add(1)
+		go e.runMonteCarlo(j, mcr)
 		return j.info(), nil
 	}
 
@@ -681,6 +697,121 @@ func (e *Engine) collectSweep(j *job, sweep *api.SweepRequest) (*api.SweepRespon
 		e.mu.Unlock()
 	}
 	return resp, nil
+}
+
+// runMonteCarlo orchestrates one montecarlo job: fan the sample cells
+// out as ordinary plan submissions, wait for each, and reduce to
+// uncertainty statistics.
+func (e *Engine) runMonteCarlo(j *job, req *api.MonteCarloRequest) {
+	defer e.sweeps.Done()
+	if !e.start(j) {
+		return
+	}
+	resp, err := e.guardedCollectMC(j, req)
+	e.finalize(j, resp, err)
+}
+
+// guardedCollectMC gives the montecarlo orchestrator the same panic
+// isolation workers get: a panic fails the job, not the daemon.
+func (e *Engine) guardedCollectMC(j *job, req *api.MonteCarloRequest) (resp *api.MonteCarloResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.collectMonteCarlo(j, req)
+}
+
+// collectMonteCarlo submits every sample cell up front — the cells are
+// canonical plan requests, so identical draws, earlier sweeps and the
+// result cache all collapse into dedup/cache hits — then gathers the
+// evaluated frequencies and temperatures in Saltelli row order and
+// reduces them: quantiles over the independent A∪B block, exceedance
+// probability at the eval step, and Sobol sensitivity indices from the
+// paired columns. The first failed or canceled cell aborts the job;
+// cells already queued keep running and stay cached for a retry.
+func (e *Engine) collectMonteCarlo(j *job, req *api.MonteCarloRequest) (*api.MonteCarloResponse, error) {
+	cells := req.Cells()
+	submitted := make([]JobInfo, len(cells))
+	deduped := make([]bool, len(cells))
+	for i, cell := range cells {
+		in, err := e.submitCell(j.ctx, cell)
+		if err != nil {
+			return nil, fmt.Errorf("service: montecarlo cell %d/%d: %w", i+1, len(cells), err)
+		}
+		submitted[i] = in
+		deduped[i] = in.Deduped
+	}
+	names := req.ParamNames()
+	resp := &api.MonteCarloResponse{
+		Samples:    req.Samples,
+		Params:     names,
+		TotalCells: len(cells),
+		EvalGHz:    req.EvalGHz,
+		ExceedC:    req.ExceedC,
+	}
+	freq := make([]float64, len(cells))
+	peak := make([]float64, len(cells))
+	for i := range cells {
+		in, err := e.Wait(j.ctx, submitted[i].ID)
+		if err != nil {
+			return nil, fmt.Errorf("service: montecarlo cell %d/%d: %w", i+1, len(cells), err)
+		}
+		if in.State != StateDone {
+			return nil, fmt.Errorf("service: montecarlo cell %d/%d %s: %s", i+1, len(cells), in.State, in.Error)
+		}
+		plan, ok := in.Result.(*api.PlanResponse)
+		if !ok {
+			return nil, fmt.Errorf("service: montecarlo cell %d/%d returned %T", i+1, len(cells), in.Result)
+		}
+		// Infeasible samples contribute 0 GHz — "this draw cannot run at
+		// all" is the correct tail of the max-frequency distribution —
+		// and their eval-step temperature still lands in peak, which is
+		// exactly what the exceedance probability integrates.
+		freq[i] = plan.FrequencyGHz
+		peak[i] = plan.EvalPeakC
+		e.mu.Lock()
+		j.progress.DoneCells++
+		if in.CacheHit {
+			j.progress.CachedCells++
+			resp.CachedCells++
+		}
+		e.mu.Unlock()
+		if deduped[i] {
+			resp.DedupedCells++
+		}
+	}
+	e.metrics.add(&e.metrics.mcSamplesDeduped, uint64(resp.CachedCells+resp.DedupedCells))
+
+	// Statistics come from the 2N independent rows (matrices A and B);
+	// the N·d pivoted rows exist only to pair with them for Sobol.
+	n, d := req.Samples, len(names)
+	ind := 2 * n
+	resp.FreqGHz = mc.Summarize(freq[:ind])
+	resp.EvalPeakC = mc.Summarize(peak[:ind])
+	resp.InfeasibleShare = float64(countInfeasible(freq[:ind])) / float64(ind)
+	resp.ExceedProb = mc.Exceedance(peak[:ind], req.ExceedC)
+	sobolFreq := mc.SobolIndices(n, d, freq)
+	sobolPeak := mc.SobolIndices(n, d, peak)
+	resp.Sobol = make([]api.MonteCarloSobol, d)
+	for k := range names {
+		resp.Sobol[k] = api.MonteCarloSobol{
+			Param: names[k], FreqGHz: sobolFreq[k], EvalPeakC: sobolPeak[k],
+		}
+	}
+	return resp, nil
+}
+
+// countInfeasible counts samples whose max-frequency search found no
+// admissible step (reported as 0 GHz).
+func countInfeasible(freq []float64) int {
+	n := 0
+	for _, f := range freq {
+		if f == 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // submitCell submits one sweep cell, waiting out transient queue-full

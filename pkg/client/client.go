@@ -1,11 +1,13 @@
 // Package client is the typed Go client of the watersrvd HTTP API.
 //
-// The synchronous helpers (Plan, Cosim, Sweep) mirror the server's
-// synchronous endpoints: they block until the simulation finishes,
-// transparently falling back to the async job API when the server
-// answers 202 because the request outlived its sync budget. The job
-// helpers (Submit, Job, Result, Cancel, Wait) expose the async
-// surface directly for callers that want to multiplex work.
+// The synchronous helpers (Plan, Cosim, Sweep, MonteCarlo) mirror the
+// server's synchronous endpoints: they block until the simulation
+// finishes, transparently falling back to the async job API when the
+// server answers 202 because the request outlived its sync budget.
+// The job helpers (SubmitJob, Job, Result, Cancel, WaitJob) expose
+// the async surface directly for callers that want to multiplex work;
+// SubmitJob speaks the canonical typed job envelope ({"type": ...,
+// "request": ...}) and accepts every request kind.
 //
 // Server errors arrive as *APIError carrying the stable machine
 // code of the JSON error envelope. Capacity errors — 429 (queue
@@ -155,18 +157,42 @@ func (c *Client) Sweep(ctx context.Context, req *api.SweepRequest) (*api.SweepRe
 	return &resp, nil
 }
 
-// Submit enqueues a request on the async job API and returns its
-// initial snapshot (terminal immediately on a cache hit).
-func (c *Client) Submit(ctx context.Context, req api.Request) (*Job, error) {
-	env, err := envelope(req)
-	if err != nil {
+// MonteCarlo runs a Monte-Carlo uncertainty sweep to completion and
+// returns the reduced statistics (quantiles, exceedance probability,
+// Sobol indices). Large sample counts routinely outlive the server's
+// sync budget; like the other sync helpers this falls through to the
+// async job API transparently, but callers wanting progress reporting
+// should SubmitJob and poll.
+func (c *Client) MonteCarlo(ctx context.Context, req *api.MonteCarloRequest) (*api.MonteCarloResponse, error) {
+	var resp api.MonteCarloResponse
+	if err := c.sync(ctx, "/v1/montecarlo", req, &resp); err != nil {
 		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitJob enqueues a request of any kind — plan, cosim, sweep,
+// montecarlo — on the canonical job endpoint (POST /v1/jobs) under
+// the typed job envelope, and returns the job's initial snapshot
+// (terminal immediately on a cache hit).
+func (c *Client) SubmitJob(ctx context.Context, req api.Request) (*Job, error) {
+	env, err := api.NewJobEnvelope(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
 	}
 	var j Job
 	if err := c.do(ctx, http.MethodPost, "/v1/jobs", env, &j); err != nil {
 		return nil, err
 	}
 	return &j, nil
+}
+
+// Submit enqueues a request on the async job API.
+//
+// Deprecated: Submit is the pre-envelope name; it now delegates to
+// SubmitJob. New code should call SubmitJob.
+func (c *Client) Submit(ctx context.Context, req api.Request) (*Job, error) {
+	return c.SubmitJob(ctx, req)
 }
 
 // Job fetches the current snapshot of a job.
@@ -198,9 +224,9 @@ func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
 	return &j, nil
 }
 
-// Wait polls until the job reaches a terminal state and returns its
-// final snapshot including the result payload.
-func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+// WaitJob polls until the job reaches a terminal state and returns
+// its final snapshot including the result payload.
+func (c *Client) WaitJob(ctx context.Context, id string) (*Job, error) {
 	tick := time.NewTicker(c.PollInterval)
 	defer tick.Stop()
 	for {
@@ -217,6 +243,14 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 		case <-tick.C:
 		}
 	}
+}
+
+// Wait polls a job to completion.
+//
+// Deprecated: Wait is the pre-envelope name; it now delegates to
+// WaitJob. New code should call WaitJob.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	return c.WaitJob(ctx, id)
 }
 
 // Metrics fetches the engine metrics snapshot as generic JSON.
@@ -404,17 +438,4 @@ func apiError(status int, body []byte, header http.Header) error {
 		reqID = e.Error.RequestID
 	}
 	return &APIError{StatusCode: status, Code: e.Error.Code, Message: e.Error.Message, RequestID: reqID}
-}
-
-// envelope wraps a request for the async submit endpoint.
-func envelope(req api.Request) (*api.Envelope, error) {
-	switch r := req.(type) {
-	case *api.PlanRequest:
-		return &api.Envelope{Plan: r}, nil
-	case *api.CosimRequest:
-		return &api.Envelope{Cosim: r}, nil
-	case *api.SweepRequest:
-		return &api.Envelope{Sweep: r}, nil
-	}
-	return nil, fmt.Errorf("client: unsupported request kind %q", req.Kind())
 }

@@ -162,8 +162,14 @@ func TestAPIErrorDegradesGracefully(t *testing.T) {
 	}
 }
 
+// SubmitJob (and the deprecated Submit delegating to it) wraps every
+// request kind in the typed job envelope, with the plan kind traveling
+// under its public "simulate" name.
 func TestEnvelopeWrapping(t *testing.T) {
-	var gotBody map[string]json.RawMessage
+	var gotBody struct {
+		Type    string          `json:"type"`
+		Request json.RawMessage `json:"request"`
+	}
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		json.NewDecoder(r.Body).Decode(&gotBody)
 		writeJSON(w, http.StatusAccepted, Job{ID: "j1", State: "queued"})
@@ -175,16 +181,17 @@ func TestEnvelopeWrapping(t *testing.T) {
 		req  api.Request
 		want string
 	}{
-		{&api.PlanRequest{}, "plan"},
+		{&api.PlanRequest{}, "simulate"},
 		{&api.CosimRequest{}, "cosim"},
 		{&api.SweepRequest{}, "sweep"},
+		{&api.MonteCarloRequest{}, "montecarlo"},
 	} {
-		gotBody = nil
+		gotBody.Type, gotBody.Request = "", nil
 		if _, err := c.Submit(context.Background(), tc.req); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := gotBody[tc.want]; !ok || len(gotBody) != 1 {
-			t.Fatalf("submit %s wrapped as %v", tc.want, gotBody)
+		if gotBody.Type != tc.want || len(gotBody.Request) == 0 {
+			t.Fatalf("submit %s wrapped as type %q, request %q", tc.want, gotBody.Type, gotBody.Request)
 		}
 	}
 }
