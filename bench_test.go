@@ -314,6 +314,64 @@ func benchSolvePrecond(b *testing.B, kind string) {
 func BenchmarkSolveJacobi(b *testing.B) { benchSolvePrecond(b, thermal.PrecondJacobi) }
 func BenchmarkSolveMG(b *testing.B)     { benchSolvePrecond(b, thermal.PrecondMG) }
 
+// --- Structural reuse + mixed precision (the PR 8 tentpole) ---
+
+// BenchmarkAssembly compares a full symbolic assembly against
+// value-only reassembly through a cached Structure — the per-sample
+// assembly cost of a Monte-Carlo cell before and after the change.
+func BenchmarkAssembly(b *testing.B) {
+	sys := benchPrecondSystem(b, 128, 8)
+	m := sys.Model()
+	st, err := sys.Structure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := thermal.Assemble(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("structural", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Assemble(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVCycle times one V-cycle application at the 256×256
+// acceptance point: the float32 coarse hierarchy against the all-
+// float64 build of the same system.
+func BenchmarkVCycle(b *testing.B) {
+	sys := benchPrecondSystem(b, 256, 8)
+	mixed, err := sys.Multigrid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp64, err := sys.MultigridFP64()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := make([]float64, sys.N)
+	z := make([]float64, sys.N)
+	for i := range r {
+		r[i] = float64(i%101) / 101
+	}
+	b.Run("fp64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fp64.Apply(z, r)
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mixed.Apply(z, r)
+		}
+	})
+}
+
 // BenchmarkSolveSteady times the default (Jacobi) cold solve on a
 // 4-chip stack — the reference for the fused-kernel CG change: fewer
 // memory sweeps per iteration show up directly as ns/op per cg-iter.

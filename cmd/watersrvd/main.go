@@ -94,6 +94,7 @@ var (
 	flagJobDeadline  = flag.Duration("job-deadline", 5*time.Minute, "per-job wall-clock budget, queue wait included (0 = unlimited)")
 	flagMaxQueueWait = flag.Duration("max-queue-wait", time.Minute, "queue-wait budget before load shedding kicks in (0 = never shed)")
 	flagFault        = flag.String("fault", "", "dev-only fault injection spec, e.g. 'thermal.cg.iteration=stall:delay=2s' (see internal/faultinject)")
+	flagNoStructural = flag.Bool("no-structural-reuse", false, "disable the per-geometry structural cache (symbolic assembly reuse and stale-preconditioner borrowing for perturbed Monte-Carlo cells); A/B benchmarking only")
 )
 
 func main() {
@@ -127,6 +128,8 @@ func main() {
 		JobDeadline:  *flagJobDeadline,
 		MaxQueueWait: *flagMaxQueueWait,
 		DiskCache:    store,
+
+		DisableStructuralReuse: *flagNoStructural,
 	})
 	expvar.Publish("watersrvd", expvar.Func(func() any { return engine.Metrics() }))
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"waterimm/internal/floorplan"
+	"waterimm/internal/material"
+	"waterimm/internal/stack"
+	"waterimm/internal/thermal"
+)
+
+// coolantModel builds the real production stack model — floorplan,
+// Table 2 parameters, the coolant's lumped extras — with a uniform die
+// heat load, optionally value-perturbed the way a Monte-Carlo sample
+// would be.
+func coolantModel(t *testing.T, coolant material.Coolant, chips int, perturbed bool) *thermal.Model {
+	t.Helper()
+	base, err := floorplan.ForModel("low-power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := stack.DefaultParams()
+	params.GridNX, params.GridNY = 24, 24
+	if perturbed {
+		params.DieK *= 1.17
+		params.TIMK *= 0.85
+		params.AmbientC = 32
+		coolant.H *= 1.2
+	}
+	dies := make([]*floorplan.Floorplan, chips)
+	for i := range dies {
+		dies[i] = base
+	}
+	model, err := stack.Build(stack.Config{Params: params, Coolant: coolant, Dies: dies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < chips; i++ {
+		p := model.Layers[stack.DieLayer(i)].Power
+		for j := range p {
+			p[j] = 0.02
+		}
+	}
+	return model
+}
+
+// TestMixedPrecisionAcrossCoolants pins the mixed-precision solver
+// contract on the real coolant stacks — air, closed-loop water pipe
+// and water immersion, lumped extras included, nominal and perturbed:
+// the float32 coarse hierarchy is only a preconditioner, so the
+// converged field must match an all-float64 hierarchy within solver
+// tolerance for every coolant physics.
+func TestMixedPrecisionAcrossCoolants(t *testing.T) {
+	for _, coolant := range []material.Coolant{material.Air, material.WaterPipe, material.Water} {
+		for _, perturbed := range []bool{false, true} {
+			name := coolant.Name
+			if perturbed {
+				name += "-perturbed"
+			}
+			t.Run(name, func(t *testing.T) {
+				solveWith := func(build func(*thermal.System) (*thermal.Multigrid, error)) []float64 {
+					sys, err := thermal.Assemble(coolantModel(t, coolant, 2, perturbed))
+					if err != nil {
+						t.Fatal(err)
+					}
+					mg, err := build(sys)
+					if err != nil {
+						t.Fatal(err)
+					}
+					x, err := sys.SolveSteady(thermal.SolveOptions{Tol: 1e-8, Precond: mg})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return x
+				}
+				mixed := solveWith((*thermal.System).Multigrid)
+				fp64 := solveWith((*thermal.System).MultigridFP64)
+				var maxRise, maxDiff float64
+				for i := range fp64 {
+					maxRise = math.Max(maxRise, fp64[i]-20)
+					maxDiff = math.Max(maxDiff, math.Abs(mixed[i]-fp64[i]))
+				}
+				if maxDiff > 1e-4*maxRise {
+					t.Errorf("%s: mixed vs fp64 fields differ by %.3e (max rise %.3f)", name, maxDiff, maxRise)
+				}
+			})
+		}
+	}
+}

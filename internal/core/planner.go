@@ -61,6 +61,38 @@ type Planner struct {
 	// exactly as consistent as nominal ones.
 	DynScale  float64
 	StatScale float64
+	// Geoms, when non-nil, shares per-geometry structural artifacts
+	// across sessions (see GeomCache): the symbolic assembly skeleton
+	// and, for perturbed sessions, the reference multigrid hierarchy.
+	Geoms *GeomCache
+	// Perturbed marks this planner as solving a one-shot
+	// parameter-perturbed sample (a Monte-Carlo cell). Perturbed
+	// sessions bypass the system pool — their per-sample keys would
+	// only evict the hot shared geometries — and borrow the
+	// geometry's nominal reference through Geoms (stale hierarchy,
+	// basis warm starts) instead of building everything themselves.
+	// Seed the reference with EnsureGeomRef on a nominal planner.
+	Perturbed bool
+	// RefreshFactor tunes the stale-preconditioner iteration guard: a
+	// borrowed hierarchy is value-refreshed when a solve exceeds
+	// RefreshFactor × the nominal reference's baseline iteration count
+	// (plus a small floor). 0 means the default 2.0; negative
+	// refreshes after any borrowed solve (tests only).
+	RefreshFactor float64
+}
+
+// refreshLimit is the iteration count above which a borrowed stale
+// hierarchy gets its values refreshed. refIters is the nominal
+// reference's baseline; 0 (no baseline yet) disables the guard.
+func (p *Planner) refreshLimit(refIters int) int {
+	f := p.RefreshFactor
+	if f == 0 {
+		f = 2
+	}
+	if f < 0 {
+		return 0
+	}
+	return int(f*float64(refIters)) + 4
 }
 
 // dynScale and statScale resolve the 0-means-nominal convention.

@@ -41,6 +41,16 @@ type Session struct {
 	base    *floorplan.Floorplan
 	flipped *floorplan.Floorplan
 
+	// Structural-reuse state (see GeomCache). gkey is the topology
+	// key; ref is the geometry's borrowed nominal reference (nil when
+	// none is seeded, or for non-perturbed sessions); borrowed +
+	// refIters track a stale borrowed hierarchy and the baseline its
+	// iteration guard compares against.
+	gkey     string
+	ref      *geomRef
+	borrowed *thermal.Multigrid
+	refIters int
+
 	// guess carries the previous solve's field as the next warm start.
 	guess []float64
 	// basis, once built, makes further solves nearly free: see
@@ -107,7 +117,8 @@ func (p *Planner) NewSession(chip power.Model, chips int, coolant material.Coola
 	if p.Flip {
 		s.flipped = base.Rotate180()
 	}
-	sys, err := p.Cache.Acquire(s.key, func() (*thermal.System, error) {
+	s.gkey = p.geomKey(chip, chips, coolant)
+	build := func() (*thermal.System, error) {
 		dies := make([]*floorplan.Floorplan, chips)
 		for i := range dies {
 			if p.Flip && i%2 == 1 {
@@ -120,8 +131,22 @@ func (p *Planner) NewSession(chip power.Model, chips int, coolant material.Coola
 		if err != nil {
 			return nil, err
 		}
-		return thermal.Assemble(model)
-	})
+		// Same-topology models reuse the geometry's cached sparsity
+		// pattern; a nil Geoms assembles fully.
+		return p.Geoms.AssembleModel(s.gkey, model)
+	}
+	var sys *thermal.System
+	if p.Perturbed {
+		// One-shot perturbed sample: skip the system pool entirely.
+		// Its value-unique key could never hit, and Release-ing it
+		// would evict the hot shared geometries (see Close). Borrow
+		// the geometry's nominal reference instead — basis warm
+		// starts plus, for MG-sized grids, the stale preconditioner.
+		s.ref = p.Geoms.borrowRef(s.gkey)
+		sys, err = build()
+	} else {
+		sys, err = p.Cache.Acquire(s.key, build)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -129,17 +154,41 @@ func (p *Planner) NewSession(chip power.Model, chips int, coolant material.Coola
 	s.model = sys.Model()
 	// Resolve the preconditioner once per session: the multigrid
 	// hierarchy is cached on the system, so pooled systems carry it
-	// back and forth through the cache and pay setup only once.
-	if s.prec, err = sys.SelectPreconditioner(p.Precond); err != nil {
-		p.Cache.Release(s.key, sys)
+	// back and forth through the cache and pay setup only once;
+	// perturbed sessions borrow the geometry's reference hierarchy
+	// instead of building one per sample.
+	if s.prec, err = s.resolvePrecond(); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
+// resolvePrecond picks the session's CG preconditioner. MG-sized
+// perturbed sessions borrow the geometry's nominal reference hierarchy
+// (a stale preconditioner: same structure, nominal values — still
+// SPD, so CG converges identically, with the iteration guard in
+// runSteady as the escape hatch); everyone else builds or reuses the
+// system's own hierarchy.
+func (s *Session) resolvePrecond() (thermal.Preconditioner, error) {
+	p := s.p
+	wantsMG, err := s.sys.WantsMG(p.Precond)
+	if err != nil || !wantsMG {
+		return nil, err
+	}
+	if p.Perturbed && s.ref != nil && s.ref.mg != nil {
+		s.borrowed = s.ref.mg.Borrow()
+		s.refIters = s.ref.iters
+		p.Geoms.noteReused()
+		return s.borrowed, nil
+	}
+	return s.sys.Multigrid()
+}
+
 // runSteady is the session's single SolveSteady choke point: it
-// attaches the resolved preconditioner and reports per-solve stats to
-// the planner's OnSolve observer.
+// attaches the resolved preconditioner, reports per-solve stats to
+// the planner's OnSolve observer, and runs the stale-preconditioner
+// iteration guard.
 func (s *Session) runSteady(opt thermal.SolveOptions) ([]float64, error) {
 	opt.Precond = s.prec
 	var stats thermal.SolveStats
@@ -147,21 +196,38 @@ func (s *Session) runSteady(opt thermal.SolveOptions) ([]float64, error) {
 		opt.Stats = &stats
 	}
 	t, err := s.sys.SolveSteady(opt)
-	if err == nil && s.p.OnSolve != nil {
-		s.p.OnSolve(*opt.Stats)
+	if err == nil {
+		if iters := opt.Stats.Iterations; s.borrowed != nil && s.refIters > 0 && iters > s.p.refreshLimit(s.refIters) {
+			// The borrowed nominal values have drifted too far from
+			// this sample: refresh them under the shared structure.
+			// The field already converged — only future solves of
+			// this session get the better hierarchy.
+			if fresh, rerr := s.borrowed.RefreshedCopy(s.sys); rerr == nil {
+				s.prec = fresh
+				s.borrowed = nil
+				s.p.Geoms.noteRefreshed()
+			}
+		}
+		if s.p.OnSolve != nil {
+			s.p.OnSolve(*opt.Stats)
+		}
 	}
 	return t, err
 }
 
-// Close returns the assembled system to the planner's cache. The
-// session must not be used afterwards.
+// Close returns the assembled system to the planner's cache — except
+// for perturbed one-shot sessions, whose value-unique systems are
+// dropped: pooling them would evict the hot shared geometries from
+// the LRU without any chance of a future hit.
 func (s *Session) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
 	if s.sys != nil {
-		s.p.Cache.Release(s.key, s.sys)
+		if !s.p.Perturbed {
+			s.p.Cache.Release(s.key, s.sys)
+		}
 		s.sys, s.model = nil, nil
 	}
 }
@@ -224,13 +290,15 @@ func (s *Session) buildBasis(ctx context.Context) error {
 		}
 		return s.runSteady(thermal.SolveOptions{Ctx: ctx, Guess: guess, TolRef: tolRef})
 	}
-	base, err := solve(0, 0, nil)
+	base, err := solve(0, 0, s.refBaseGuess())
 	if err != nil {
 		return err
 	}
 	b.base = base
 	if b.refDyn > 0 {
-		t, err := solve(b.refDyn, 0, base)
+		t, err := solve(b.refDyn, 0, s.refShapeGuess(base, func(rb *sessionBasis) ([]float64, float64) {
+			return rb.dyn, b.refDyn / rb.refDyn
+		}))
 		if err != nil {
 			return err
 		}
@@ -240,7 +308,9 @@ func (s *Session) buildBasis(ctx context.Context) error {
 		}
 	}
 	if b.refStat > 0 {
-		t, err := solve(0, b.refStat, base)
+		t, err := solve(0, b.refStat, s.refShapeGuess(base, func(rb *sessionBasis) ([]float64, float64) {
+			return rb.stat, b.refStat / rb.refStat
+		}))
 		if err != nil {
 			return err
 		}
@@ -251,6 +321,56 @@ func (s *Session) buildBasis(ctx context.Context) error {
 	}
 	s.basis = b
 	return nil
+}
+
+// refBaseGuess warm-starts the zero-power basis solve from the
+// nominal reference basis, shifted by the sample's ambient offset (the
+// zero-power field tracks the ambient uniformly up to the lumped
+// extras). Nil — meaning "use the solver's ambient start" — when no
+// reference is borrowed.
+func (s *Session) refBaseGuess() []float64 {
+	rb := s.refBasisFields()
+	if rb == nil || rb.base == nil {
+		return nil
+	}
+	g := make([]float64, len(rb.base))
+	shift := s.p.Params.AmbientC - s.ref.ambientC
+	for i := range g {
+		g[i] = rb.base[i] + shift
+	}
+	return g
+}
+
+// refShapeGuess warm-starts a basis shape solve: the session's own
+// base field plus the nominal reference's delta shape rescaled to this
+// session's reference magnitude. For samples that only perturb the
+// right-hand side (ambient, power scales) the guess is exact up to
+// solver tolerance; for conductance perturbations it is off by the
+// perturbation's few percent — either way CG starts decades below a
+// cold start. pick selects the nominal shape and its rescale factor.
+func (s *Session) refShapeGuess(base []float64, pick func(*sessionBasis) ([]float64, float64)) []float64 {
+	rb := s.refBasisFields()
+	if rb == nil {
+		return base
+	}
+	shape, f := pick(rb)
+	if shape == nil || len(shape) != len(base) || f <= 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+		return base
+	}
+	g := make([]float64, len(base))
+	for i := range g {
+		g[i] = base[i] + f*shape[i]
+	}
+	return g
+}
+
+// refBasisFields returns the borrowed nominal basis, or nil when the
+// session has none (non-perturbed, no reference seeded yet).
+func (s *Session) refBasisFields() *sessionBasis {
+	if s.ref == nil {
+		return nil
+	}
+	return s.ref.basis
 }
 
 // Prime eagerly builds the superposition basis, so every subsequent

@@ -46,11 +46,26 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 	// geometry (sweep cells differing only in threshold, repeated
 	// requests) share the assembled conductance system.
 	p.Cache = e.sysCache
+	// The structural cache rides alongside: perturbed Monte-Carlo
+	// cells reuse the geometry's sparsity skeleton and borrow its
+	// reference multigrid hierarchy (nil when disabled by config).
+	p.Geoms = e.geoms
 	// Every CG solve reports its iteration count and preconditioner
 	// kind to /v1/metrics (observeSolve is lock-protected, so the
 	// concurrent sessions of a sweep can share the observer).
 	p.OnSolve = e.metrics.observeSolve
 	applyPerturb(p, &coolant, r.Perturb)
+	if p.Perturbed && e.geoms != nil {
+		// Seed the geometry's shared nominal reference (hierarchy +
+		// basis) before the perturbed cell solves: a one-time cost per
+		// geometry that every sample then borrows. Building it from
+		// nominal values — never from whichever sample got here first —
+		// keeps Monte-Carlo statistics bitwise reproducible under
+		// concurrent cell scheduling.
+		if err := e.ensureGeomRef(ctx, r, chip); err != nil {
+			return nil, err
+		}
+	}
 
 	// EvalGHz asks for an extra fixed-step solve inside the same
 	// session: the peak temperature at that step comes back even when
@@ -76,6 +91,27 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 	return resp, nil
 }
 
+// ensureGeomRef seeds the structural cache's nominal reference for a
+// perturbed request's geometry: a nominal planner (same grid and flip,
+// unperturbed values, default leakage policy) builds the hierarchy and
+// superposition basis exactly once per geometry; concurrent cells
+// coalesce on the build. The nominal planner shares the engine's
+// system pool, so its assembled system is the same one nominal plan
+// requests hit.
+func (e *Engine) ensureGeomRef(ctx context.Context, r *api.PlanRequest, chip power.Model) error {
+	coolant, err := material.ByName(r.Coolant)
+	if err != nil {
+		return err
+	}
+	p := core.NewPlanner()
+	p.Flip = r.Flip
+	p.Params.GridNX, p.Params.GridNY = r.GridNX, r.GridNY
+	p.Cache = e.sysCache
+	p.Geoms = e.geoms
+	p.OnSolve = e.metrics.observeSolve
+	return p.EnsureGeomRef(ctx, chip, r.Chips, coolant)
+}
+
 // applyPerturb lands a Monte-Carlo sample cell's perturbation vector
 // on the planner and coolant: scale factors over material
 // conductivities, film coefficients and chip power, plus an absolute
@@ -87,6 +123,12 @@ func applyPerturb(p *core.Planner, coolant *material.Coolant, pb *api.Perturb) {
 	if pb == nil {
 		return
 	}
+	// A perturbed sample is a one-shot system: its parameter values
+	// are unique to this draw, so pooling it would only evict the
+	// reusable nominal geometries from the SystemCache. Perturbed
+	// sessions assemble outside the pool (via the structural cache's
+	// value-only path) and drop their system on Close.
+	p.Perturbed = true
 	scale := func(dst *float64, s float64) {
 		if s > 0 {
 			*dst *= s

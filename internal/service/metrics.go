@@ -250,6 +250,23 @@ type Snapshot struct {
 	// planner job skipped matrix assembly entirely).
 	Assembly thermal.CacheStats `json:"assembly"`
 
+	// Structural-reuse counters (the Monte-Carlo fast path; all zero
+	// when -no-structural-reuse). GeomEntries gauges distinct cached
+	// geometry topologies. AssemblySymbolicHits counts assemblies that
+	// reused a cached sparsity pattern and only recomputed values;
+	// AssemblySymbolicMisses counts full symbolic assemblies (one
+	// seeds each geometry). PrecondReused counts perturbed solves that
+	// borrowed the geometry's reference multigrid hierarchy instead of
+	// building their own; PrecondRefreshed counts borrowed hierarchies
+	// whose values were recomputed after the iteration guard tripped —
+	// a persistently high refresh share means the perturbations drift
+	// too far for stale preconditioning to pay off.
+	GeomEntries            int    `json:"geom_entries"`
+	AssemblySymbolicHits   uint64 `json:"assembly_symbolic_hits"`
+	AssemblySymbolicMisses uint64 `json:"assembly_symbolic_misses"`
+	PrecondReused          uint64 `json:"precond_reused"`
+	PrecondRefreshed       uint64 `json:"precond_refreshed"`
+
 	// LatencyS maps stage name ("queue", "run.plan", "run.cosim",
 	// "run.sweep") to its histogram.
 	LatencyS map[string]*Histogram `json:"latency_s"`

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"waterimm/internal/api"
+	"waterimm/internal/core"
 	"waterimm/internal/faultinject"
 	"waterimm/internal/mc"
 	"waterimm/internal/rcache"
@@ -57,6 +58,13 @@ type Config struct {
 	// used disk entries so finished work survives a restart. nil
 	// keeps the cache memory-only (the default).
 	DiskCache *rcache.Store
+	// DisableStructuralReuse turns off the per-geometry structural
+	// cache (symbolic assembly reuse and stale-preconditioner
+	// borrowing for perturbed Monte-Carlo cells), so every sample pays
+	// full assembly and its own multigrid build. Exists for A/B
+	// benchmarking against the pre-structural path; production keeps
+	// it off.
+	DisableStructuralReuse bool
 }
 
 func (c Config) withDefaults() Config {
@@ -245,6 +253,12 @@ type Engine struct {
 	// it has its own synchronization.
 	sysCache *thermal.SystemCache
 
+	// geoms shares per-geometry structural artifacts (sparsity
+	// skeletons, reference multigrid hierarchies) across jobs — the
+	// Monte-Carlo fast path. nil when Config.DisableStructuralReuse
+	// is set; it has its own synchronization.
+	geoms *core.GeomCache
+
 	// disk is the persistent result tier (nil = memory only); it has
 	// its own synchronization and is never touched under mu — disk IO
 	// must not block status polls and submissions.
@@ -268,6 +282,9 @@ func New(cfg Config) *Engine {
 		sysCache: thermal.NewSystemCache(cfg.AssemblyCacheEntries),
 		disk:     cfg.DiskCache,
 		metrics:  newMetrics(),
+	}
+	if !cfg.DisableStructuralReuse {
+		e.geoms = core.NewGeomCache(0)
 	}
 	if e.disk != nil {
 		// Warm boot: results a previous process computed are resident
@@ -918,6 +935,12 @@ func (e *Engine) Metrics() Snapshot {
 	s.RetryAfterHintS = e.retryAfterLocked().Seconds()
 	e.mu.Unlock()
 	s.Assembly = e.sysCache.Stats()
+	gs := e.geoms.Stats() // nil-safe: zeros when structural reuse is disabled
+	s.GeomEntries = gs.Geometries
+	s.AssemblySymbolicHits = gs.SymbolicHits
+	s.AssemblySymbolicMisses = gs.SymbolicMisses
+	s.PrecondReused = gs.PrecondReused
+	s.PrecondRefreshed = gs.PrecondRefreshed
 	if e.disk != nil {
 		st := e.disk.Stats()
 		s.DiskCacheEnabled = true

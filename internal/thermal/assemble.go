@@ -76,20 +76,18 @@ func (c *coo) tie(a int, g float64) {
 	c.ambient[a] += g
 }
 
-// Assemble builds the CSR system for the model. The returned system
-// is independent of the model's power maps except through Q, so a
-// caller sweeping power levels can rebuild Q cheaply via RefreshQ.
-func Assemble(m *Model) (*System, error) {
-	if err := faultinject.Hit(nil, faultinject.SiteAssemble); err != nil {
-		return nil, fmt.Errorf("thermal: assembly failed: %w", err)
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
+// walkConductances enumerates every conductance contribution of the
+// model in a fixed deterministic order: lateral conduction, vertical
+// conduction, convective boundary ties, lumped extras, couplings.
+// Both the full assembly and the structural (value-only) reassembly
+// consume the same walk, so their matrices stay in lockstep entry for
+// entry. Contributions with non-positive conductance are emitted too
+// — the callee decides whether to skip — so the call sequence depends
+// only on the model's topology (grid, layer count, extras,
+// couplings), never on parameter values.
+func walkConductances(m *Model, couple func(a, b int, g float64), tie func(a int, g float64)) {
 	g := m.Grid
 	nc := g.Cells()
-	n := m.NumNodes()
-	acc := newCOO(n)
 	dx, dy := g.DX(), g.DY()
 	cellArea := dx * dy
 
@@ -101,10 +99,10 @@ func Assemble(m *Model) (*System, error) {
 			for i := 0; i < g.NX; i++ {
 				a := m.node(l, i, j)
 				if i+1 < g.NX {
-					acc.couple(a, m.node(l, i+1, j), gx)
+					couple(a, m.node(l, i+1, j), gx)
 				}
 				if j+1 < g.NY {
-					acc.couple(a, m.node(l, i, j+1), gy)
+					couple(a, m.node(l, i, j+1), gy)
 				}
 			}
 		}
@@ -117,71 +115,75 @@ func Assemble(m *Model) (*System, error) {
 		r := lo.Thickness/(2*lo.K) + hi.Thickness/(2*hi.K)
 		gv := cellArea / r
 		for c := 0; c < nc; c++ {
-			acc.couple(l*nc+c, (l+1)*nc+c, gv)
+			couple(l*nc+c, (l+1)*nc+c, gv)
 		}
 	}
 
 	// Convective boundaries.
 	for l, layer := range m.Layers {
-		if layer.EdgeCoeff > 0 {
-			gex := layer.EdgeCoeff * layer.Thickness * dy // west/east faces
-			gey := layer.EdgeCoeff * layer.Thickness * dx // south/north faces
-			for j := 0; j < g.NY; j++ {
-				acc.tie(m.node(l, 0, j), gex)
-				acc.tie(m.node(l, g.NX-1, j), gex)
-			}
-			for i := 0; i < g.NX; i++ {
-				acc.tie(m.node(l, i, 0), gey)
-				acc.tie(m.node(l, i, g.NY-1), gey)
-			}
+		gex := layer.EdgeCoeff * layer.Thickness * dy // west/east faces
+		gey := layer.EdgeCoeff * layer.Thickness * dx // south/north faces
+		for j := 0; j < g.NY; j++ {
+			tie(m.node(l, 0, j), gex)
+			tie(m.node(l, g.NX-1, j), gex)
 		}
-		if layer.TopCoeff > 0 {
-			boost := layer.TopAreaBoost
-			if boost <= 0 {
-				boost = 1
-			}
-			gt := layer.TopCoeff * cellArea * boost
-			for c := 0; c < nc; c++ {
-				acc.tie(m.node(l, 0, 0)+c, gt)
-			}
+		for i := 0; i < g.NX; i++ {
+			tie(m.node(l, i, 0), gey)
+			tie(m.node(l, i, g.NY-1), gey)
 		}
-		if layer.BottomCoeff > 0 {
-			gb := layer.BottomCoeff * cellArea
-			for c := 0; c < nc; c++ {
-				acc.tie(m.node(l, 0, 0)+c, gb)
-			}
+		boost := layer.TopAreaBoost
+		if boost <= 0 {
+			boost = 1
 		}
-		if layer.ChannelCoeff > 0 {
-			gc := layer.ChannelCoeff * cellArea
-			for c := 0; c < nc; c++ {
-				acc.tie(m.node(l, 0, 0)+c, gc)
-			}
+		gt := layer.TopCoeff * cellArea * boost
+		gb := layer.BottomCoeff * cellArea
+		gc := layer.ChannelCoeff * cellArea
+		for c := 0; c < nc; c++ {
+			a := m.node(l, 0, 0) + c
+			tie(a, gt)
+			tie(a, gb)
+			tie(a, gc)
 		}
 	}
 
 	// Lumped extras.
 	for e, extra := range m.Extras {
-		acc.tie(m.extraNode(e), extra.AmbientG)
+		tie(m.extraNode(e), extra.AmbientG)
 	}
 	for _, cp := range m.Couplings {
 		a := m.extraNode(cp.ExtraA)
 		switch {
 		case cp.ExtraB >= 0:
-			acc.couple(a, m.extraNode(cp.ExtraB), cp.G)
+			couple(a, m.extraNode(cp.ExtraB), cp.G)
 		case cp.EdgeOnly:
 			// Distribute over the layer's boundary cells.
 			cells := boundaryCells(g)
 			per := cp.G / float64(len(cells))
 			for _, c := range cells {
-				acc.couple(a, cp.Layer*nc+c, per)
+				couple(a, cp.Layer*nc+c, per)
 			}
 		default:
 			per := cp.G / float64(nc)
 			for c := 0; c < nc; c++ {
-				acc.couple(a, cp.Layer*nc+c, per)
+				couple(a, cp.Layer*nc+c, per)
 			}
 		}
 	}
+}
+
+// Assemble builds the CSR system for the model. The returned system
+// is independent of the model's power maps except through Q, so a
+// caller sweeping power levels can rebuild Q cheaply via RefreshQ.
+func Assemble(m *Model) (*System, error) {
+	if err := faultinject.Hit(nil, faultinject.SiteAssemble); err != nil {
+		return nil, fmt.Errorf("thermal: assembly failed: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NumNodes()
+	acc := newCOO(n)
+	walkConductances(m, acc.couple, acc.tie)
 
 	sys := &System{N: n, model: m}
 	sys.Diag = acc.diag
@@ -203,8 +205,24 @@ func Assemble(m *Model) (*System, error) {
 	}
 	sys.RowPtr[n] = int32(len(sys.ColIdx))
 
+	if err := sys.finishAssembly(acc.ambient); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// finishAssembly fills in everything downstream of the CSR matrix —
+// heat capacities, right-hand side, ambient bookkeeping, and the
+// inverted diagonal — shared by the full and structural assembly
+// paths so the two stay in lockstep.
+func (sys *System) finishAssembly(ambient []float64) error {
+	m := sys.model
+	g := m.Grid
+	nc := g.Cells()
+	cellArea := g.DX() * g.DY()
+
 	// Heat capacities (transient only).
-	sys.Capacity = make([]float64, n)
+	sys.Capacity = make([]float64, sys.N)
 	for l, layer := range m.Layers {
 		c := layer.VolHeatCap * layer.Thickness * cellArea
 		for k := 0; k < nc; k++ {
@@ -215,18 +233,18 @@ func Assemble(m *Model) (*System, error) {
 		sys.Capacity[m.extraNode(e)] = extra.Cap
 	}
 
-	sys.Q = make([]float64, n)
-	sys.RefreshQ(acc.ambient)
+	sys.Q = make([]float64, sys.N)
+	sys.RefreshQ(ambient)
 	// Keep ambient conductances for later Q refreshes.
-	sys.ambientG = acc.ambient
+	sys.ambientG = ambient
 	// Invert the diagonal once here instead of on every solve: warm
 	// sweeps re-solve a cached system hundreds of times, and the
 	// validation doubles as the disconnected-from-ambient check.
 	var err error
 	if sys.invDiag, err = invertDiag(sys.Diag); err != nil {
-		return nil, err
+		return err
 	}
-	return sys, nil
+	return nil
 }
 
 // Model returns the model the system was assembled from. Callers that

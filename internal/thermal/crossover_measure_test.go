@@ -1,0 +1,58 @@
+package thermal
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMeasureCrossover is a measurement harness, not a regression test:
+// run with WATERIMM_MEASURE=1 to print the cold-solve cost of the
+// Jacobi and multigrid paths across grid sizes, the data behind the
+// mgAutoThreshold choice.
+func TestMeasureCrossover(t *testing.T) {
+	if os.Getenv("WATERIMM_MEASURE") == "" {
+		t.Skip("set WATERIMM_MEASURE=1 to run the measurement")
+	}
+	for _, n := range []int{24, 32, 40, 48, 64, 90, 128} {
+		m := mgStack(n, n, true)
+		unknowns := 4 * n * n
+
+		timeSolve := func(kind string) (buildS, solveS float64, iters int) {
+			const reps = 3
+			var bestB, bestS float64
+			for r := 0; r < reps; r++ {
+				sys, err := Assemble(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t0 := time.Now()
+				prec, err := sys.SelectPreconditioner(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kind == PrecondMG {
+					if prec, err = sys.Multigrid(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tb := time.Since(t0).Seconds()
+				var stats SolveStats
+				t1 := time.Now()
+				if _, err := sys.SolveSteady(SolveOptions{Tol: 1e-9, Precond: prec, Stats: &stats}); err != nil {
+					t.Fatal(err)
+				}
+				ts := time.Since(t1).Seconds()
+				if r == 0 || tb+ts < bestB+bestS {
+					bestB, bestS, iters = tb, ts, stats.Iterations
+				}
+			}
+			return bestB, bestS, iters
+		}
+
+		jb, js, ji := timeSolve(PrecondJacobi)
+		mb, ms, mi := timeSolve(PrecondMG)
+		t.Logf("n=%3d unknowns=%6d | jacobi %7.2fms (%3d it) | mg build %7.2fms solve %7.2fms total %7.2fms (%2d it) | mg/jacobi total %.2fx solve-only %.2fx",
+			n, unknowns, (jb+js)*1e3, ji, mb*1e3, ms*1e3, (mb+ms)*1e3, mi, (mb+ms)/(jb+js), ms/js)
+	}
+}

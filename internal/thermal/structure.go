@@ -1,0 +1,185 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"waterimm/internal/faultinject"
+)
+
+// ErrStructureMismatch reports that a model's topology no longer
+// matches the cached symbolic structure it was assembled against.
+// Callers should fall back to a full Assemble.
+var ErrStructureMismatch = errors.New("thermal: model does not match cached structure")
+
+// Structure is the immutable symbolic skeleton of an assembled
+// system: the CSR sparsity pattern plus a tape mapping every
+// conductance contribution of the model walk onto the CSR slots it
+// lands in. Same-topology models — e.g. Monte-Carlo perturbations of
+// one geometry, which only rescale strictly-positive conductances —
+// share one Structure and pay only the O(nnz) value fill on
+// reassembly, skipping the symbolic pattern search that makes full
+// assembly comparable in cost to a CG solve.
+//
+// A Structure is deeply read-only after construction; the rowPtr and
+// colIdx slices are shared by every System it assembles (the same
+// sharing the transient stepper already relies on).
+type Structure struct {
+	// Topology fingerprint, checked before a value-only reassembly.
+	n, nx, ny                 int
+	layers, extras, couplings int
+
+	rowPtr []int32
+	colIdx []int32
+
+	// coupleTape holds four int32 per couple emitted by the walk:
+	// diag slot of a, diag slot of b, slot (a,b), slot (b,a). A
+	// contribution skipped at build time (non-positive conductance)
+	// is recorded as four -1s and must stay non-positive in every
+	// model assembled through the tape. tieTape holds two int32 per
+	// tie: diag slot of a and the node index a (for the ambient
+	// vector), or two -1s when skipped.
+	coupleTape []int32
+	tieTape    []int32
+}
+
+// slotOf finds the CSR slot of off-diagonal entry (a, b). The
+// diagonal is stored first in each row, so the scan starts one past
+// rowPtr[a]; rows hold a handful of entries, so a linear scan wins.
+func slotOf(rowPtr, colIdx []int32, a, b int) int32 {
+	for s := rowPtr[a] + 1; s < rowPtr[a+1]; s++ {
+		if colIdx[s] == int32(b) {
+			return s
+		}
+	}
+	return -1
+}
+
+// Structure extracts the symbolic skeleton of an assembled system by
+// replaying the model walk against the system's CSR pattern. The
+// result is safe for concurrent use by any number of assemblies.
+func (s *System) Structure() (*Structure, error) {
+	m := s.model
+	g := m.Grid
+	st := &Structure{
+		n: s.N, nx: g.NX, ny: g.NY,
+		layers: len(m.Layers), extras: len(m.Extras), couplings: len(m.Couplings),
+		rowPtr: s.RowPtr,
+		colIdx: s.ColIdx,
+	}
+	ok := true
+	couple := func(a, b int, gv float64) {
+		if gv <= 0 {
+			st.coupleTape = append(st.coupleTape, -1, -1, -1, -1)
+			return
+		}
+		sab := slotOf(s.RowPtr, s.ColIdx, a, b)
+		sba := slotOf(s.RowPtr, s.ColIdx, b, a)
+		if sab < 0 || sba < 0 {
+			ok = false
+			return
+		}
+		st.coupleTape = append(st.coupleTape, s.RowPtr[a], s.RowPtr[b], sab, sba)
+	}
+	tie := func(a int, gv float64) {
+		if gv <= 0 {
+			st.tieTape = append(st.tieTape, -1, -1)
+			return
+		}
+		st.tieTape = append(st.tieTape, s.RowPtr[a], int32(a))
+	}
+	walkConductances(m, couple, tie)
+	if !ok {
+		return nil, fmt.Errorf("thermal: structure extraction found a coupling outside the CSR pattern")
+	}
+	return st, nil
+}
+
+// Assemble builds a System for a same-topology model by replaying the
+// recorded tape: only the value arrays are filled, the sparsity
+// pattern and node indexing are shared with the structure. Any
+// divergence between the model's walk and the tape — a contribution
+// changing sign, a different topology — returns ErrStructureMismatch
+// so the caller can fall back to a full Assemble; a wrong matrix is
+// never produced.
+func (st *Structure) Assemble(m *Model) (*System, error) {
+	if err := faultinject.Hit(nil, faultinject.SiteAssemble); err != nil {
+		return nil, fmt.Errorf("thermal: assembly failed: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	g := m.Grid
+	if m.NumNodes() != st.n || g.NX != st.nx || g.NY != st.ny ||
+		len(m.Layers) != st.layers || len(m.Extras) != st.extras ||
+		len(m.Couplings) != st.couplings {
+		return nil, ErrStructureMismatch
+	}
+
+	val := make([]float64, len(st.colIdx))
+	ambient := make([]float64, st.n)
+	ci, ti := 0, 0
+	mismatch := false
+	couple := func(a, b int, gv float64) {
+		if mismatch {
+			return
+		}
+		if ci+4 > len(st.coupleTape) {
+			mismatch = true
+			return
+		}
+		da, db, sab, sba := st.coupleTape[ci], st.coupleTape[ci+1], st.coupleTape[ci+2], st.coupleTape[ci+3]
+		ci += 4
+		if (gv > 0) != (da >= 0) {
+			mismatch = true
+			return
+		}
+		if gv <= 0 {
+			return
+		}
+		val[da] += gv
+		val[db] += gv
+		val[sab] -= gv
+		val[sba] -= gv
+	}
+	tie := func(a int, gv float64) {
+		if mismatch {
+			return
+		}
+		if ti+2 > len(st.tieTape) {
+			mismatch = true
+			return
+		}
+		da, node := st.tieTape[ti], st.tieTape[ti+1]
+		ti += 2
+		if (gv > 0) != (da >= 0) {
+			mismatch = true
+			return
+		}
+		if gv <= 0 {
+			return
+		}
+		val[da] += gv
+		ambient[node] += gv
+	}
+	walkConductances(m, couple, tie)
+	if mismatch || ci != len(st.coupleTape) || ti != len(st.tieTape) {
+		return nil, ErrStructureMismatch
+	}
+
+	sys := &System{
+		N:      st.n,
+		RowPtr: st.rowPtr,
+		ColIdx: st.colIdx,
+		Val:    val,
+		model:  m,
+	}
+	sys.Diag = make([]float64, st.n)
+	for r := 0; r < st.n; r++ {
+		sys.Diag[r] = val[st.rowPtr[r]]
+	}
+	if err := sys.finishAssembly(ambient); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
