@@ -12,12 +12,14 @@
 //	          [-cache-dir DIR] [-cache-max-bytes N]
 //	          [-sync-timeout 120s] [-drain-timeout 30s] [-pprof]
 //	          [-job-deadline 5m] [-max-queue-wait 1m] [-fault spec]
+//	          [-chf-scale 1.0]
 //
 // Endpoints:
 //
 //	POST   /v1/plan            synchronous plan request (api.PlanRequest body)
 //	POST   /v1/cosim           synchronous cosim request (api.CosimRequest body)
 //	POST   /v1/sweep           synchronous batched sweep (api.SweepRequest body)
+//	POST   /v1/audit           synchronous chip-roadmap audit (api.AuditRequest body)
 //	POST   /v1/jobs            async submit ({"plan": {...}}, {"cosim": {...}} or {"sweep": {...}})
 //	GET    /v1/jobs/{id}       job status (sweep jobs carry per-cell progress)
 //	GET    /v1/jobs/{id}/result job result (202 while pending)
@@ -95,6 +97,7 @@ var (
 	flagMaxQueueWait = flag.Duration("max-queue-wait", time.Minute, "queue-wait budget before load shedding kicks in (0 = never shed)")
 	flagFault        = flag.String("fault", "", "dev-only fault injection spec, e.g. 'thermal.cg.iteration=stall:delay=2s' (see internal/faultinject)")
 	flagNoStructural = flag.Bool("no-structural-reuse", false, "disable the per-geometry structural cache (symbolic assembly reuse and stale-preconditioner borrowing for perturbed Monte-Carlo cells); A/B benchmarking only")
+	flagCHFScale     = flag.Float64("chf-scale", 1, "multiplier on every critical-heat-flux limit: <1 audits against a safety margin, >1 models surface-enhanced boiling (1 = literature correlations)")
 )
 
 func main() {
@@ -130,6 +133,7 @@ func main() {
 		DiskCache:    store,
 
 		DisableStructuralReuse: *flagNoStructural,
+		CHFScale:               *flagCHFScale,
 	})
 	expvar.Publish("watersrvd", expvar.Func(func() any { return engine.Metrics() }))
 

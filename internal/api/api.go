@@ -26,7 +26,14 @@ import (
 // the per-kind key generations below therefore stay at 2 for
 // plan/cosim/sweep and no deployed cache entry is invalidated
 // (TestCacheKeysFrozen pins the exact keys).
-const SchemaVersion = 3
+//
+// v4: added the audit request kind (chip-roadmap CHF audit, its own
+// key generation 4) and the CHF/film-boiling response fields on
+// PlanResponse. Response fields are not part of any cache key, and no
+// existing kind's canonical request encoding changed, so every prior
+// generation — and therefore every deployed cache entry — stays
+// valid; CacheGeneration holds at 2.
+const SchemaVersion = 4
 
 // CacheGeneration is the result-store envelope generation the
 // daemons pass to rcache.Open. It is deliberately decoupled from
@@ -48,13 +55,15 @@ func keyGeneration(kind string) int {
 		return 2
 	case "montecarlo":
 		return 3
+	case "audit":
+		return 4
 	}
 	panic(fmt.Sprintf("api: no key generation for kind %q", kind))
 }
 
 // Request is the common surface of the service's request kinds.
 type Request interface {
-	// Kind returns "plan", "cosim", "sweep" or "montecarlo".
+	// Kind returns "plan", "cosim", "sweep", "montecarlo" or "audit".
 	Kind() string
 	// Normalize fills defaults and resolves aliases in place.
 	Normalize()
@@ -221,6 +230,27 @@ type PlanResponse struct {
 	// sample, including the ones whose stack cannot hold the
 	// threshold at any step.
 	EvalPeakC float64 `json:"eval_peak_c,omitempty"`
+
+	// Two-phase physics (all omitempty: responses for non-boiling
+	// coolants and pre-CHF operating points look exactly as before).
+
+	// HotspotWCM2 is the generation-side hotspot power density in
+	// W/cm²: the die's hottest floorplan cell at the evaluated step
+	// (EvalGHz when set, else the chosen step). 0 when no step was
+	// evaluated (infeasible plan without eval_ghz).
+	HotspotWCM2 float64 `json:"hotspot_w_cm2,omitempty"`
+	// CHFLimitWCM2 is the coolant's critical-heat-flux limit in
+	// W/cm² (Zuber pool boiling, or the flow-enhanced limit for the
+	// pumped loop); 0 when the coolant cannot boil (air).
+	CHFLimitWCM2 float64 `json:"chf_limit_w_cm2,omitempty"`
+	// CHFExceeded reports that the hotspot power density exceeds the
+	// coolant's CHF limit — the heat cannot leave the die through
+	// that fluid at any film coefficient.
+	CHFExceeded bool `json:"chf_exceeded,omitempty"`
+	// FilmBoilingCells counts boundary cells that collapsed into the
+	// film-boiling regime during the solver-side two-phase re-solve;
+	// 0 whenever the field stays below CHF (the common case).
+	FilmBoilingCells int `json:"film_boiling_cells,omitempty"`
 }
 
 // CosimRequest asks for an activity-driven performance↔thermal
@@ -419,6 +449,7 @@ type Envelope struct {
 	Cosim      *CosimRequest      `json:"cosim,omitempty"`
 	Sweep      *SweepRequest      `json:"sweep,omitempty"`
 	Montecarlo *MonteCarloRequest `json:"montecarlo,omitempty"`
+	Audit      *AuditRequest      `json:"audit,omitempty"`
 }
 
 // Request unwraps the envelope, erroring unless exactly one kind is
@@ -437,11 +468,14 @@ func (e *Envelope) Request() (Request, error) {
 	if e.Montecarlo != nil {
 		reqs = append(reqs, e.Montecarlo)
 	}
+	if e.Audit != nil {
+		reqs = append(reqs, e.Audit)
+	}
 	switch len(reqs) {
 	case 1:
 		return reqs[0], nil
 	case 0:
-		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}}, {"sweep": {...}} or {"montecarlo": {...}})`)
+		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}}, {"sweep": {...}}, {"montecarlo": {...}} or {"audit": {...}})`)
 	}
 	return nil, fmt.Errorf("api: envelope carries %d requests, want exactly one", len(reqs))
 }

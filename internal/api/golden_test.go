@@ -52,6 +52,18 @@ func TestCacheKeysFrozen(t *testing.T) {
 				GridNX: 16, GridNY: 16},
 			"28c9f29679e0d401a9786230dfafe9075ba7d5a7a91c53d47d741146648102c6",
 		},
+		{
+			"audit_default",
+			&AuditRequest{},
+			"50a3ddde6f5fb419a6812df8fe3c3f8cd861b662b12afb9c921d137068689ec4",
+		},
+		{
+			"audit_custom",
+			&AuditRequest{Chips: []string{"hf", "lp"}, Coolants: []string{"water", "air"},
+				StartYear: 2027, EndYear: 2030, GrowthPerYear: 1.25, ThresholdC: 85,
+				GridNX: 16, GridNY: 16, Flip: true},
+			"502cc97e67d9f119c3492afadef4c930c3c112d0a652031defd361b80e8f3149",
+		},
 	}
 	for _, c := range cases {
 		if got := c.req.CacheKey(); got != c.want {
@@ -74,5 +86,8 @@ func TestCacheGenerationFrozen(t *testing.T) {
 	}
 	if g := keyGeneration("montecarlo"); g != 3 {
 		t.Errorf("keyGeneration(montecarlo) = %d, want 3", g)
+	}
+	if g := keyGeneration("audit"); g != 4 {
+		t.Errorf("keyGeneration(audit) = %d, want 4", g)
 	}
 }

@@ -11,8 +11,8 @@ import (
 //
 //	{"type": "montecarlo", "request": {"chips": 4, ...}}
 //
-// Accepted types are "simulate" (alias "plan"), "cosim", "sweep" and
-// "montecarlo". The legacy keyed union (Envelope) is still accepted
+// Accepted types are "simulate" (alias "plan"), "cosim", "sweep",
+// "montecarlo" and "audit". The legacy keyed union (Envelope) is still accepted
 // on the same endpoint — DecodeJobRequest sniffs which shape a body
 // uses — so existing clients keep working unchanged.
 type JobEnvelope struct {
@@ -33,6 +33,8 @@ func jobTypes(t string) (Request, bool) {
 		return &SweepRequest{}, true
 	case "montecarlo":
 		return &MonteCarloRequest{}, true
+	case "audit":
+		return &AuditRequest{}, true
 	}
 	return nil, false
 }
@@ -40,7 +42,7 @@ func jobTypes(t string) (Request, bool) {
 // JobTypeNames lists the accepted type discriminators, for error
 // messages and docs.
 func JobTypeNames() []string {
-	return []string{"simulate", "cosim", "sweep", "montecarlo"}
+	return []string{"simulate", "cosim", "sweep", "montecarlo", "audit"}
 }
 
 // Decode unwraps the typed envelope into its request, rejecting

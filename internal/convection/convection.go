@@ -1,17 +1,3 @@
-// Package convection computes heat transfer coefficients from fluid
-// properties and flow conditions, connecting Figure 14's abstract
-// h-axis to physical pump/turbine speeds (Section 4.1: "it could be
-// worthwhile in practice to increase coolant flow speed (e.g., via
-// turbines)"). Two classic flat-plate correlations are implemented:
-//
-//	natural convection:  Nu = 0.54·Ra^¼            (hot plate up)
-//	forced, laminar:     Nu = 0.664·Re^½·Pr^⅓       (Re < 5·10⁵)
-//	forced, turbulent:   Nu = 0.037·Re^⅘·Pr^⅓       (Re ≥ 5·10⁵)
-//
-// with h = Nu·k/L. Property tables at ~25 °C cover the paper's
-// coolants; the paper's h = 14 (air) and h = 800 (water) sit inside
-// the ranges these correlations produce for fan-driven air and gently
-// circulated water.
 package convection
 
 import (
@@ -33,6 +19,26 @@ type Fluid struct {
 	ThermalExpansion float64
 	// ThermalDiffusivity in m²/s.
 	ThermalDiffusivity float64
+
+	// Two-phase (boiling) properties at saturation, 1 atm. All zero
+	// for fluids that never boil in the operating envelope (air).
+	// See twophase.go for the correlations that consume them.
+
+	// LatentHeat is the enthalpy of vaporization h_fg in J/kg.
+	LatentHeat float64
+	// LiquidDensity is the saturated-liquid density ρ_l in kg/m³.
+	LiquidDensity float64
+	// VaporDensity is the saturated-vapor density ρ_v in kg/m³.
+	VaporDensity float64
+	// SurfaceTension is σ in N/m at saturation.
+	SurfaceTension float64
+	// SaturationC is the 1-atm boiling point in °C.
+	SaturationC float64
+	// FilmBoilCollapse is how many times smaller the heat-transfer
+	// coefficient becomes once a vapor blanket forms past CHF
+	// (h_film ≈ h_nucleate / FilmBoilCollapse). Literature puts the
+	// collapse at 10–100×; the tables pin a conservative low end.
+	FilmBoilCollapse float64
 }
 
 // Property tables (25 °C, 1 atm).
@@ -46,16 +52,27 @@ var (
 		Name: "water", Conductivity: 0.61,
 		KinematicViscosity: 0.89e-6, Prandtl: 6.1,
 		ThermalExpansion: 2.6e-4, ThermalDiffusivity: 0.146e-6,
+		// Saturation properties at 100 °C, 1 atm (steam tables).
+		LatentHeat: 2.257e6, LiquidDensity: 958, VaporDensity: 0.597,
+		SurfaceTension: 0.0589, SaturationC: 100, FilmBoilCollapse: 20,
 	}
 	MineralOilFluid = Fluid{
 		Name: "mineral-oil", Conductivity: 0.13,
 		KinematicViscosity: 30e-6, Prandtl: 400,
 		ThermalExpansion: 7e-4, ThermalDiffusivity: 0.08e-6,
+		// Estimated: mineral oils are wide-cut blends with no single
+		// boiling point; these land Zuber CHF near the ~20–30 W/cm²
+		// pool-boiling limits reported for light hydrocarbon oils.
+		LatentHeat: 250e3, LiquidDensity: 850, VaporDensity: 4.0,
+		SurfaceTension: 0.03, SaturationC: 300, FilmBoilCollapse: 10,
 	}
 	FluorinertFluid = Fluid{
 		Name: "fluorinert", Conductivity: 0.065,
 		KinematicViscosity: 0.4e-6, Prandtl: 12,
 		ThermalExpansion: 1.6e-3, ThermalDiffusivity: 0.033e-6,
+		// FC-72 saturation properties at 56 °C, 1 atm (3M datasheet).
+		LatentHeat: 88e3, LiquidDensity: 1680, VaporDensity: 13.4,
+		SurfaceTension: 0.0081, SaturationC: 56, FilmBoilCollapse: 10,
 	}
 )
 

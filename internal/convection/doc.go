@@ -1,0 +1,29 @@
+// Package convection computes heat transfer coefficients and boiling
+// limits from fluid properties and flow conditions, connecting
+// Figure 14's abstract h-axis to physical pump/turbine speeds
+// (Section 4.1: "it could be worthwhile in practice to increase
+// coolant flow speed (e.g., via turbines)").
+//
+// Single-phase: two classic flat-plate correlations,
+//
+//	natural convection:  Nu = 0.54·Ra^¼            (hot plate up)
+//	forced, laminar:     Nu = 0.664·Re^½·Pr^⅓       (Re < 5·10⁵)
+//	forced, turbulent:   Nu = 0.037·Re^⅘·Pr^⅓       (Re ≥ 5·10⁵)
+//
+// with h = Nu·k/L. Property tables at ~25 °C cover the paper's
+// coolants; the paper's h = 14 (air) and h = 800 (water) sit inside
+// the ranges these correlations produce for fan-driven air and gently
+// circulated water.
+//
+// Two-phase (twophase.go): every boiling-capable Fluid additionally
+// carries saturation properties (h_fg, ρ_l, ρ_v, σ, T_sat) feeding the
+// Zuber (1959) hydrodynamic critical-heat-flux limit
+//
+//	q″_CHF = 0.131·h_fg·√ρ_v·(σ·g·(ρ_l−ρ_v))^¼
+//
+// for pool boiling on an upward-facing surface, and a Weber-number
+// flow-boiling enhancement q″_flow = q″_CHF·(1 + 0.275·√We) for pumped
+// loops. Past CHF a vapor blanket forms and the heat-transfer
+// coefficient collapses by Fluid.FilmBoilCollapse (literature: 10–100×)
+// — the film-boiling regime internal/thermal models per cell.
+package convection

@@ -1,0 +1,87 @@
+package convection
+
+import "math"
+
+// gravity in m/s².
+const gravity = 9.81
+
+// zuberK is the lead constant of Zuber's hydrodynamic-instability CHF
+// analysis (Zuber 1959, π/24 ≈ 0.131). Kutateladze's empirical fit
+// puts it at 0.149; the lower value is the conservative choice for a
+// feasibility audit.
+const zuberK = 0.131
+
+// flowCHFK is the lead constant of the Weber-number flow-boiling
+// enhancement (Katto-style q″_flow = q″_pool·(1 + 0.275·√We)):
+// forced convection sweeps vapor off the surface, raising the flux at
+// which the blanket can anchor.
+const flowCHFK = 0.275
+
+// Boils reports whether the fluid has a complete saturation-property
+// set, i.e. whether a boiling crisis is physically reachable in the
+// operating envelope. Air (a gas throughout) and any fluid with a
+// zeroed table never boils, so its CHF is "no limit".
+func (f Fluid) Boils() bool {
+	return f.LatentHeat > 0 && f.VaporDensity > 0 &&
+		f.LiquidDensity > f.VaporDensity && f.SurfaceTension > 0
+}
+
+// ZuberCHF returns the Zuber (1959) pool-boiling critical heat flux in
+// W/m² for an upward-facing heated surface in saturated liquid:
+//
+//	q″ = 0.131·h_fg·√ρ_v·(σ·g·(ρ_l−ρ_v))^¼
+//
+// Validity: saturated pool boiling at 1 atm on a flat plate large
+// against the Taylor wavelength (true for die- and sink-scale
+// surfaces); subcooling raises the real limit, so this is a floor.
+// Returns 0 (no limit) for fluids that do not boil.
+func (f Fluid) ZuberCHF() float64 {
+	if !f.Boils() {
+		return 0
+	}
+	return zuberK * f.LatentHeat * math.Sqrt(f.VaporDensity) *
+		math.Pow(f.SurfaceTension*gravity*(f.LiquidDensity-f.VaporDensity), 0.25)
+}
+
+// Weber returns the Weber number ρ_l·v²·l/σ for flow at v m/s over
+// characteristic length l (m) — inertia against surface tension, the
+// dimensionless group governing how strongly forced flow strips vapor
+// off a boiling surface.
+func (f Fluid) Weber(v, l float64) float64 {
+	if !f.Boils() || v <= 0 || l <= 0 {
+		return 0
+	}
+	return f.LiquidDensity * v * v * l / f.SurfaceTension
+}
+
+// FlowCHF returns the flow-boiling critical heat flux in W/m² for a
+// pumped loop at bulk speed v over a heated length l:
+//
+//	q″_flow = q″_Zuber·(1 + 0.275·√We)
+//
+// Validity: saturated flow boiling, We ≲ 10⁵ (beyond that droplet
+// entrainment takes over and the correlation overpredicts). At v = 0
+// it degenerates to the pool limit. Returns 0 for non-boiling fluids.
+func (f Fluid) FlowCHF(v, l float64) float64 {
+	base := f.ZuberCHF()
+	if base == 0 {
+		return 0
+	}
+	return base * (1 + flowCHFK*math.Sqrt(f.Weber(v, l)))
+}
+
+// FluidForCoolant maps a material.Coolant name onto its property
+// table. Both water options (immersion bath and the closed pipe loop)
+// share the water table. The second return is false for coolants with
+// no boiling-capable table — air stays single-phase at any flux.
+func FluidForCoolant(name string) (Fluid, bool) {
+	switch name {
+	case "water", "water-pipe":
+		return WaterFluid, true
+	case "mineral-oil":
+		return MineralOilFluid, true
+	case "fluorinert":
+		return FluorinertFluid, true
+	}
+	return Fluid{}, false
+}

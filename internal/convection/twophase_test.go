@@ -1,0 +1,92 @@
+package convection
+
+import (
+	"math"
+	"testing"
+)
+
+// Hand-computed Zuber limits, q″ = 0.131·h_fg·√ρ_v·(σ·g·(ρ_l−ρ_v))^¼:
+//
+//	water       0.131·2.257e6·√0.597·(0.0589·9.81·957.403)^¼ ≈ 1.1079e6 W/m² (≈110.8 W/cm²)
+//	fluorinert  0.131·8.8e4·√13.4·(0.0081·9.81·1666.6)^¼     ≈ 1.432e5 W/m²  (≈14.3 W/cm²)
+//	mineral-oil 0.131·2.5e5·√4.0·(0.03·9.81·846)^¼           ≈ 2.602e5 W/m²  (≈26.0 W/cm²)
+func TestZuberCHFAnalytic(t *testing.T) {
+	cases := []struct {
+		fluid Fluid
+		want  float64 // W/m²
+	}{
+		{WaterFluid, 1.1079e6},
+		{FluorinertFluid, 1.432e5},
+		{MineralOilFluid, 2.602e5},
+	}
+	for _, c := range cases {
+		got := c.fluid.ZuberCHF()
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.01 {
+			t.Errorf("%s: ZuberCHF = %.4e W/m², want %.4e (rel err %.3f)",
+				c.fluid.Name, got, c.want, rel)
+		}
+	}
+	// Sanity ordering: water's enormous latent heat dominates; the
+	// engineered dielectric is the weakest boiler of the three.
+	if !(WaterFluid.ZuberCHF() > MineralOilFluid.ZuberCHF() &&
+		MineralOilFluid.ZuberCHF() > FluorinertFluid.ZuberCHF()) {
+		t.Errorf("CHF ordering violated: water %.3e, oil %.3e, fluorinert %.3e",
+			WaterFluid.ZuberCHF(), MineralOilFluid.ZuberCHF(), FluorinertFluid.ZuberCHF())
+	}
+}
+
+func TestAirNeverBoils(t *testing.T) {
+	if AirFluid.Boils() {
+		t.Fatal("air reports Boils() = true")
+	}
+	if chf := AirFluid.ZuberCHF(); chf != 0 {
+		t.Errorf("air ZuberCHF = %v, want 0 (no limit)", chf)
+	}
+	if chf := AirFluid.FlowCHF(2, 0.05); chf != 0 {
+		t.Errorf("air FlowCHF = %v, want 0 (no limit)", chf)
+	}
+}
+
+// FlowCHF at the cold-plate operating point: water at 1.5 m/s over a
+// 60 mm plate gives We = 958·1.5²·0.06/0.0589 ≈ 2195.8, enhancement
+// 1 + 0.275·√We ≈ 13.886 over the pool limit.
+func TestFlowCHFEnhancement(t *testing.T) {
+	we := WaterFluid.Weber(1.5, 0.06)
+	if rel := math.Abs(we-2195.8) / 2195.8; rel > 0.01 {
+		t.Errorf("Weber = %.1f, want ≈2195.8", we)
+	}
+	wantFactor := 1 + 0.275*math.Sqrt(we)
+	got := WaterFluid.FlowCHF(1.5, 0.06)
+	want := WaterFluid.ZuberCHF() * wantFactor
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("FlowCHF = %.4e, want %.4e", got, want)
+	}
+	if got <= WaterFluid.ZuberCHF() {
+		t.Errorf("flow CHF %.3e not above pool CHF %.3e", got, WaterFluid.ZuberCHF())
+	}
+	// Zero speed degenerates to the pool limit.
+	if still := WaterFluid.FlowCHF(0, 0.06); still != WaterFluid.ZuberCHF() {
+		t.Errorf("FlowCHF(0) = %.4e, want pool limit %.4e", still, WaterFluid.ZuberCHF())
+	}
+}
+
+func TestFluidForCoolant(t *testing.T) {
+	for _, name := range []string{"water", "water-pipe"} {
+		f, ok := FluidForCoolant(name)
+		if !ok || f.Name != "water" {
+			t.Errorf("FluidForCoolant(%q) = %v, %v; want water table", name, f.Name, ok)
+		}
+	}
+	if f, ok := FluidForCoolant("fluorinert"); !ok || f.Name != "fluorinert" {
+		t.Errorf("FluidForCoolant(fluorinert) = %v, %v", f.Name, ok)
+	}
+	if f, ok := FluidForCoolant("mineral-oil"); !ok || f.Name != "mineral-oil" {
+		t.Errorf("FluidForCoolant(mineral-oil) = %v, %v", f.Name, ok)
+	}
+	if _, ok := FluidForCoolant("air"); ok {
+		t.Error("FluidForCoolant(air) reported a boiling table")
+	}
+	if _, ok := FluidForCoolant("no-such"); ok {
+		t.Error("FluidForCoolant(no-such) reported a table")
+	}
+}

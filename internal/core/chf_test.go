@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"waterimm/internal/material"
+	"waterimm/internal/power"
+	"waterimm/internal/stack"
+)
+
+// TestPeakPowerDensityHotspot pins the generation-side hotspot check:
+// deterministic, above the uniform average (the floorplan concentrates
+// power in cores), and linear in the planner's dynamic/static scales.
+func TestPeakPowerDensityHotspot(t *testing.T) {
+	p := NewPlanner()
+	chip := power.LowPower
+	top := chip.Steps()[len(chip.Steps())-1]
+
+	d1, err := p.PeakPowerDensity(chip, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := p.PeakPowerDensity(chip, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("hotspot density not deterministic: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Fatalf("non-positive hotspot density %v", d1)
+	}
+
+	// The hotspot must beat the chip-average density (power is not
+	// uniform) but stay within a small multiple of it.
+	avg := top.TotalW() / (169e-6) // low-power die is 13×13 mm
+	if d1 <= avg {
+		t.Errorf("hotspot density %.3e not above chip average %.3e", d1, avg)
+	}
+	if d1 > 10*avg {
+		t.Errorf("hotspot density %.3e implausibly high vs average %.3e", d1, avg)
+	}
+
+	// Linear in the power scales: doubling both doubles the density.
+	ps := NewPlanner()
+	ps.DynScale, ps.StatScale = 2, 2
+	dScaled, err := ps.PeakPowerDensity(chip, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dScaled-2*d1) > 1e-9*d1 {
+		t.Errorf("scaled density %.6e, want 2× nominal %.6e", dScaled, 2*d1)
+	}
+
+	// A slower step generates less flux.
+	slow := chip.Steps()[0]
+	dSlow, err := p.PeakPowerDensity(chip, slow.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSlow >= d1 {
+		t.Errorf("slowest-step density %.3e not below top-step %.3e", dSlow, d1)
+	}
+}
+
+// TestTwoPhasePeakMatchesSinglePhaseBelowCHF: at stock film
+// coefficients the solver-side boundary flux sits far below every
+// coolant's CHF, so the two-phase solve must collapse nothing and
+// agree with the plain cold solve.
+func TestTwoPhasePeakMatchesSinglePhaseBelowCHF(t *testing.T) {
+	p := NewPlanner()
+	p.Params.GridNX, p.Params.GridNY = 16, 16
+	chip := power.LowPower
+	top := chip.Steps()[len(chip.Steps())-1]
+
+	out, err := p.TwoPhasePeak(context.Background(), chip, 1, material.Fluorinert, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FilmBoilingCells != 0 || out.Violations != 0 {
+		t.Fatalf("stock fluorinert stack crossed CHF: %+v", out)
+	}
+
+	// The same configuration through a session solve (non-converging
+	// leakage, same policy temperature) lands on the same peak.
+	s, err := p.NewSession(chip, 1, material.Fluorinert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, _, err := s.Solve(context.Background(), top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Max() - out.PeakC); diff > 1e-3 {
+		t.Errorf("two-phase peak %.4f °C differs from single-phase %.4f °C by %.4g",
+			out.PeakC, res.Max(), diff)
+	}
+}
+
+// TestTwoPhasePeakDegradesPastCHF: shrinking the CHF limit far below
+// the operating flux must push boundary cells into film boiling and
+// heat the field above the single-phase solve — the physical
+// infeasibility signal.
+func TestTwoPhasePeakDegradesPastCHF(t *testing.T) {
+	p := NewPlanner()
+	p.Params.GridNX, p.Params.GridNY = 16, 16
+	chip := power.LowPower
+	top := chip.Steps()[len(chip.Steps())-1]
+
+	baseline, err := p.TwoPhasePeak(context.Background(), chip, 1, material.Fluorinert, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Params.CHFScale = 1e-4 // limit ≈ 14 W/m²: everything boils
+	out, err := p.TwoPhasePeak(context.Background(), chip, 1, material.Fluorinert, top.FHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FilmBoilingCells == 0 {
+		t.Fatal("no film boiling despite CHF far below operating flux")
+	}
+	if out.PeakC <= baseline.PeakC {
+		t.Errorf("film-boiling peak %.2f °C not above single-phase %.2f °C",
+			out.PeakC, baseline.PeakC)
+	}
+}
+
+// TestSessionKeySeesCHFScale: the assembly-pool key must distinguish
+// planners with different CHF scales, so a scaled audit never reuses a
+// differently-stamped pooled system.
+func TestSessionKeySeesCHFScale(t *testing.T) {
+	a, b := NewPlanner(), NewPlanner()
+	b.Params.CHFScale = 0.5
+	ka := a.sessionKey(power.LowPower, 1, material.Water)
+	kb := b.sessionKey(power.LowPower, 1, material.Water)
+	if ka == kb {
+		t.Error("session keys identical across CHFScale change")
+	}
+	if _, err := stack.Build(stack.Config{Params: b.Params, Coolant: material.Water, Dies: nil}); err == nil {
+		t.Error("expected error for empty dies")
+	}
+}

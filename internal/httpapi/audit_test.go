@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/service"
+)
+
+func auditHTTPRequest() *api.AuditRequest {
+	return &api.AuditRequest{
+		Chips: []string{"lp"}, Coolants: []string{"fluorinert", "air"},
+		StartYear: 2026, EndYear: 2028, GridNX: 8, GridNY: 8,
+	}
+}
+
+func TestSyncAuditEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	c := newTestClient(t, ts)
+	resp, err := c.Audit(context.Background(), auditHTTPRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalCells != 6 || len(resp.Rows) != 2 {
+		t.Fatalf("response shape: %+v", resp)
+	}
+	// Canonical coolant order is air, fluorinert; fluorinert is past
+	// its pool CHF from the first year, air has no boiling limit.
+	if resp.Rows[0].Coolant != "air" || resp.Rows[0].FirstCHFFailYear != 0 {
+		t.Fatalf("air row: %+v", resp.Rows[0])
+	}
+	if resp.Rows[1].Coolant != "fluorinert" || resp.Rows[1].FirstCHFFailYear != 2026 {
+		t.Fatalf("fluorinert row: %+v", resp.Rows[1])
+	}
+}
+
+// The async path: an audit submitted through the typed job envelope
+// reports per-cell progress like sweeps and Monte-Carlo jobs do.
+func TestJobsEnvelopeAuditAsync(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	c := newTestClient(t, ts)
+	ctx := context.Background()
+
+	resp, body := post(t, ts.URL+"/v1/jobs",
+		`{"type": "audit", "request": {"chips": ["lp"], "coolants": ["fluorinert", "air"], "start_year": 2026, "end_year": 2028, "grid_nx": 8, "grid_ny": 8}}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var in struct {
+		ID       string             `json:"id"`
+		Kind     string             `json:"kind"`
+		Progress *api.SweepProgress `json:"progress"`
+	}
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != "audit" {
+		t.Fatalf("kind %q: %s", in.Kind, body)
+	}
+	if in.Progress == nil || in.Progress.TotalCells != 6 {
+		t.Fatalf("submit snapshot progress: %+v", in.Progress)
+	}
+	ctxWait, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	got, err := c.WaitJob(ctxWait, in.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "done" {
+		t.Fatalf("job ended %s: %s", got.State, got.Error)
+	}
+	if got.Progress == nil || got.Progress.DoneCells != 6 {
+		t.Fatalf("final progress: %+v", got.Progress)
+	}
+	var ar api.AuditResponse
+	if err := json.Unmarshal(got.Result, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.TotalCells != 6 || len(ar.Rows) != 2 {
+		t.Fatalf("result payload: %s", got.Result)
+	}
+}

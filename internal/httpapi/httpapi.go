@@ -77,6 +77,9 @@ func NewHandler(e *service.Engine, opts Options) http.Handler {
 	mux.HandleFunc("POST /v1/montecarlo", func(w http.ResponseWriter, r *http.Request) {
 		s.sync(w, r, &api.MonteCarloRequest{})
 	})
+	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		s.sync(w, r, &api.AuditRequest{})
+	})
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)

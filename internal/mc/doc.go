@@ -1,0 +1,17 @@
+// Package mc provides the Monte-Carlo machinery behind the
+// montecarlo workload: deterministic seeded sampling of declared
+// input distributions, the Saltelli paired sample plan that makes
+// first-order and total-order Sobol indices estimable from N·(d+2)
+// model evaluations, and the reduction of sample outputs into
+// summary distributions (quantiles, exceedance probabilities) and
+// per-parameter sensitivity indices.
+//
+// Everything here is bit-deterministic for a fixed (seed,
+// distributions, N) tuple: the generator is an explicit splitmix64
+// stream and normal deviates come from our own Box–Muller transform,
+// not math/rand's ziggurat, so the sample plan cannot drift across Go
+// releases or platforms. That determinism is load-bearing — the api
+// layer expands each sample row into a canonical per-sample cell
+// whose cache key must be identical on every engine and every router
+// backend that sees the same request.
+package mc

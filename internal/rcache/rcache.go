@@ -1,26 +1,3 @@
-// Package rcache is the disk-backed result store behind the service
-// layer's persistent cache: one file per canonical request hash, so
-// finished simulations survive a daemon restart instead of being
-// recomputed.
-//
-// Layout and durability: every entry lives at <dir>/<key>.json where
-// key is the 64-hex-char canonical request hash (internal/api). The
-// file carries a small JSON envelope — schema generation, key, request
-// kind, SHA-256 checksum of the payload, payload — and is written
-// atomically (temp file in the same directory, then rename), so a
-// crash mid-write can leave a stray temp file but never a torn entry.
-// Open sweeps leftover temp files.
-//
-// Integrity: Get verifies the envelope's schema generation, embedded
-// key and payload checksum before returning anything. An entry that
-// fails any check — truncated, bit-rotted, renamed, or written by a
-// different schema generation — is deleted on the spot and counted in
-// Stats.Corrupt; it is never served.
-//
-// Recency and GC: a file's mtime doubles as its last-use time (the Go
-// build cache idiom) — Get bumps it, so recency survives restarts.
-// When the store's total payload exceeds its byte budget, the
-// least-recently-used entries are evicted oldest-first until it fits.
 package rcache
 
 import (

@@ -1,0 +1,106 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"waterimm/internal/api"
+	"waterimm/internal/rcache"
+)
+
+const auditJobBody = `{"type": "audit", "request": {"chips": ["lp"], "coolants": ["fluorinert", "air"], "start_year": 2026, "end_year": 2028, "grid_nx": 8, "grid_ny": 8}}`
+
+// TestRouterAuditEdgeResubmit is the fleet smoke test for the audit
+// workload: a roadmap audit submitted through POST /v1/jobs at the
+// edge completes and is harvested into the edge store, and the
+// identical resubmit is answered edge-side with zero additional
+// backend computes — the audit's cells live in the shared plan
+// keyspace and its whole-job result in the edge cache like every
+// other kind.
+func TestRouterAuditEdgeResubmit(t *testing.T) {
+	store, err := rcache.Open(t.TempDir(), 0, api.CacheGeneration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFleet(t, 3, store)
+	c := f.client(t)
+	ctx := context.Background()
+
+	resp, body := postJSON(t, f.edge.URL+"/v1/jobs", auditJobBody)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var j struct {
+		ID   string `json:"id"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Kind != "audit" {
+		t.Fatalf("kind %q: %s", j.Kind, body)
+	}
+
+	ctxWait, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	final, err := c.WaitJob(ctxWait, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var ar api.AuditResponse
+	if err := json.Unmarshal(final.Result, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.TotalCells != 6 || len(ar.Rows) != 2 {
+		t.Fatalf("implausible audit result via router: %s", final.Result)
+	}
+	// Fluorinert (row 1 after canonical sort) must fail on CHF from the
+	// first year; air (row 0) never.
+	if ar.Rows[1].FirstCHFFailYear != 2026 || ar.Rows[0].FirstCHFFailYear != 0 {
+		t.Fatalf("audit verdicts via router: %+v", ar.Rows)
+	}
+	if snap := f.router.Metrics(); snap.EdgeCacheHarvests != 1 {
+		t.Fatalf("result poll did not harvest into the edge store: %+v", snap)
+	}
+
+	// The identical resubmit must be answered at the edge: terminal
+	// immediately, marked as a cache hit, owned by the edge pseudo-
+	// backend, and costing the fleet zero new computes.
+	done := f.jobsDone()
+	resp2, body2 := postJSON(t, f.edge.URL+"/v1/jobs", auditJobBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp2.StatusCode, body2)
+	}
+	var j2 struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if err := json.Unmarshal(body2, &j2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(j2.ID, edgeBackendID+affinitySep) || j2.State != "done" || !j2.CacheHit {
+		t.Fatalf("resubmit not edge-served: %s", body2)
+	}
+	final2, err := c.Result(ctx, j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar2 api.AuditResponse
+	if err := json.Unmarshal(final2.Result, &ar2); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar2.Rows) != len(ar.Rows) || ar2.Rows[1].FirstCHFFailYear != ar.Rows[1].FirstCHFFailYear {
+		t.Fatalf("edge-served audit diverges:\n first: %+v\nsecond: %+v", ar.Rows, ar2.Rows)
+	}
+	if got := f.jobsDone(); got != done {
+		t.Fatalf("identical resubmit recomputed on a backend (%d → %d jobs done)", done, got)
+	}
+}

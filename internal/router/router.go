@@ -198,6 +198,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/montecarlo", func(w http.ResponseWriter, r *http.Request) {
 		rt.syncProxy(w, r, &api.MonteCarloRequest{})
 	})
+	mux.HandleFunc("POST /v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		rt.syncProxy(w, r, &api.AuditRequest{})
+	})
 	mux.HandleFunc("POST /v1/jobs", rt.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.jobProxy)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.jobProxy)

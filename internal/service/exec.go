@@ -42,6 +42,10 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 	p.Flip = r.Flip
 	p.ConvergeLeakage = r.ConvergeLeakage
 	p.Params.GridNX, p.Params.GridNY = r.GridNX, r.GridNY
+	// The engine-wide CHF scale rides on the stack parameters so every
+	// built model carries the (possibly margin-adjusted) boiling
+	// limits; 0 means the literature value.
+	p.Params.CHFScale = e.cfg.CHFScale
 	// The engine-wide assembly cache: concurrent jobs over the same
 	// geometry (sweep cells differing only in threshold, repeated
 	// requests) share the assembled conductance system.
@@ -75,6 +79,35 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 		return nil, err
 	}
 	resp := &api.PlanResponse{Feasible: plan.Feasible, EvalPeakC: evalPeak}
+
+	// Generation-side hotspot check: how much flux does the die's
+	// hottest cell try to push through its wetted face, against the
+	// coolant's critical-heat-flux limit? Evaluated at the eval step
+	// when the caller pinned one (the roadmap audit does), else at the
+	// chosen step — an infeasible plan with no eval step has no
+	// operating point to check. Crossing CHF is the boiling crisis: no
+	// film coefficient carries that flux, so the verdict is reported
+	// even when the plan is otherwise temperature-feasible.
+	hotFHz := 0.0
+	if r.EvalGHz > 0 {
+		hotFHz = r.EvalGHz * 1e9
+	} else if plan.Feasible {
+		hotFHz = plan.Step.FHz
+	}
+	if hotFHz > 0 {
+		if limit, ok := stack.CHFLimitFor(p.Params, coolant); ok {
+			hotspot, err := p.PeakPowerDensity(chip, hotFHz)
+			if err != nil {
+				return nil, err
+			}
+			resp.HotspotWCM2 = hotspot / 1e4
+			resp.CHFLimitWCM2 = limit / 1e4
+			if hotspot > limit {
+				resp.CHFExceeded = true
+				e.metrics.add(&e.metrics.chfViolations, 1)
+			}
+		}
+	}
 	if !plan.Feasible {
 		return resp, nil
 	}
@@ -88,7 +121,64 @@ func (e *Engine) runPlan(ctx context.Context, r *api.PlanRequest) (*api.PlanResp
 	for i := range resp.DiePeaksC {
 		resp.DiePeaksC[i] = res.LayerMax(stack.DieLayer(i))
 	}
+
+	// Solver-side boiling crisis: the converged single-phase field at
+	// the chosen step pushes more flux through a wetted boundary cell
+	// than its layer's CHF limit admits. The single-phase answer is
+	// then optimistic — past CHF a vapor film blankets the surface and
+	// the local heat-transfer coefficient collapses — so the plan is
+	// re-solved with film-boiling feedback and, if the degraded field
+	// breaks the threshold, walked down the VFS ladder to the fastest
+	// step that is feasible under two-phase physics. At stock film
+	// coefficients this scan finds nothing (the temperature-feasible
+	// envelope sits below every coolant's CHF); it engages when
+	// operators tighten -chf-scale or model weaker coolants.
+	if viol := res.CHFViolations(); viol > 0 {
+		e.metrics.add(&e.metrics.chfViolations, uint64(viol))
+		if err := e.resolveTwoPhase(ctx, p, chip, coolant, r, plan.Step.FHz, resp); err != nil {
+			return nil, err
+		}
+	}
 	return resp, nil
+}
+
+// resolveTwoPhase handles a plan whose chosen-step field crossed a CHF
+// limit: re-solve with film-boiling collapse at the chosen step and,
+// while the degraded peak breaks the threshold, step down the VFS
+// ladder. No two-phase-feasible step leaves the plan infeasible — the
+// physical verdict the single-phase solver cannot reach.
+func (e *Engine) resolveTwoPhase(ctx context.Context, p *core.Planner, chip power.Model, coolant material.Coolant, r *api.PlanRequest, chosenFHz float64, resp *api.PlanResponse) error {
+	steps := chip.Steps()
+	chosen := len(steps) - 1
+	for i, s := range steps {
+		if s.FHz == chosenFHz {
+			chosen = i
+		}
+	}
+	for i := chosen; i >= 0; i-- {
+		out, err := p.TwoPhasePeak(ctx, chip, r.Chips, coolant, steps[i].FHz)
+		if err != nil {
+			return err
+		}
+		if i == chosen {
+			resp.FilmBoilingCells = out.FilmBoilingCells
+			e.metrics.add(&e.metrics.filmBoilingCells, uint64(out.FilmBoilingCells))
+		}
+		if out.PeakC <= p.ThresholdC {
+			resp.FrequencyGHz = steps[i].GHz()
+			resp.VoltageV = steps[i].V
+			resp.PeakC = out.PeakC
+			resp.ChipPowerW = steps[i].TotalW()
+			for d := range resp.DiePeaksC {
+				resp.DiePeaksC[d] = out.Result.LayerMax(stack.DieLayer(d))
+			}
+			return nil
+		}
+	}
+	resp.Feasible = false
+	resp.FrequencyGHz, resp.VoltageV, resp.PeakC, resp.ChipPowerW = 0, 0, 0, 0
+	resp.DiePeaksC = nil
+	return nil
 }
 
 // ensureGeomRef seeds the structural cache's nominal reference for a
@@ -106,6 +196,10 @@ func (e *Engine) ensureGeomRef(ctx context.Context, r *api.PlanRequest, chip pow
 	p := core.NewPlanner()
 	p.Flip = r.Flip
 	p.Params.GridNX, p.Params.GridNY = r.GridNX, r.GridNY
+	// Match the perturbed planners' stack identity: the nominal
+	// reference must live under the same CHF scale, or the pooled
+	// system and the cells' structural key would diverge.
+	p.Params.CHFScale = e.cfg.CHFScale
 	p.Cache = e.sysCache
 	p.Geoms = e.geoms
 	p.OnSolve = e.metrics.observeSolve

@@ -91,6 +91,15 @@ type metrics struct {
 	mcJobs           uint64
 	mcSamplesDeduped uint64
 
+	// Two-phase physics counters: auditJobs counts roadmap-audit jobs
+	// that ran their orchestrator; chfViolations counts critical-heat-
+	// flux crossings (hotspot cells whose flux exceeds the coolant's
+	// boiling limit); filmBoilingCells counts boundary cells the
+	// two-phase re-solve pushed into the film-boiling regime.
+	auditJobs        uint64
+	chfViolations    uint64
+	filmBoilingCells uint64
+
 	// runEWMAS is an exponentially weighted moving average of job run
 	// times in seconds (α = 0.2), the basis of the engine's queue-wait
 	// prediction and Retry-After hints.
@@ -231,6 +240,18 @@ type Snapshot struct {
 	MCJobs           uint64 `json:"mc_jobs"`
 	MCSamplesDeduped uint64 `json:"mc_samples_deduped"`
 
+	// Two-phase physics. AuditJobs counts chip-roadmap audits that ran
+	// their orchestrator (whole-job cache hits count in CacheHits).
+	// CHFViolations counts critical-heat-flux crossings — hotspots
+	// generating more flux than the coolant's boiling crisis admits;
+	// any sustained nonzero rate is an alert condition, because past
+	// CHF the film coefficient collapses rather than degrades.
+	// FilmBoilingCells counts boundary cells the two-phase re-solve
+	// drove into film boiling.
+	AuditJobs        uint64 `json:"audit_jobs"`
+	CHFViolations    uint64 `json:"chf_violations"`
+	FilmBoilingCells uint64 `json:"film_boiling_cells"`
+
 	// Persistent-tier gauges, zero when no -cache-dir is configured.
 	// DiskCacheCorrupt counts entries deleted because they failed an
 	// integrity check (checksum, schema generation, key, decode) —
@@ -297,6 +318,9 @@ func (m *metrics) snapshot() Snapshot {
 		DedupHits:            m.dedupHits,
 		MCJobs:               m.mcJobs,
 		MCSamplesDeduped:     m.mcSamplesDeduped,
+		AuditJobs:            m.auditJobs,
+		CHFViolations:        m.chfViolations,
+		FilmBoilingCells:     m.filmBoilingCells,
 		LatencyS:             make(map[string]*Histogram, len(m.hists)),
 	}
 	if total := s.CacheHits + m.cacheMisses; total > 0 {

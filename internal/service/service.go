@@ -65,6 +65,12 @@ type Config struct {
 	// benchmarking against the pre-structural path; production keeps
 	// it off.
 	DisableStructuralReuse bool
+	// CHFScale multiplies every stamped critical-heat-flux limit
+	// (stack.Params.CHFScale). 1 — and 0, meaning "default" — keeps
+	// the literature correlations; operators lower it to audit against
+	// a safety margin (e.g. 0.8 flags hotspots at 80 % of the boiling
+	// crisis) or raise it to model surface-engineered enhancement.
+	CHFScale float64
 }
 
 func (c Config) withDefaults() Config {
@@ -420,6 +426,19 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		e.metrics.add(&e.metrics.mcJobs, 1)
 		e.sweeps.Add(1)
 		go e.runMonteCarlo(j, mcr)
+		return j.info(), nil
+	}
+
+	// An audit is the third orchestrator shape: its (chip, coolant,
+	// year) roadmap cells are canonical perturbed plan requests, so
+	// they dedup against each other, against sweeps and Monte-Carlo
+	// draws, and against the result cache like any other cell.
+	if ar, ok := req.(*api.AuditRequest); ok {
+		j.progress = &api.SweepProgress{TotalCells: ar.TotalCells()}
+		e.inflight[key] = j
+		e.metrics.add(&e.metrics.auditJobs, 1)
+		e.sweeps.Add(1)
+		go e.runAudit(j, ar)
 		return j.info(), nil
 	}
 

@@ -3,6 +3,7 @@ package stack
 import (
 	"fmt"
 
+	"waterimm/internal/convection"
 	"waterimm/internal/floorplan"
 	"waterimm/internal/material"
 	"waterimm/internal/thermal"
@@ -72,6 +73,14 @@ type Params struct {
 	// AmbientC is the coolant inlet / room temperature (Table 2: 25°C).
 	AmbientC float64
 
+	// CHFScale multiplies every per-coolant critical-heat-flux limit
+	// stamped onto wetted layers (CHFLimitFor). 1 is the literature
+	// value; 0 means 1 (so zero-valued Params stay meaningful).
+	// Raising or lowering it is the audit workload's sensitivity
+	// knob and the test hook that makes the boiling crisis reachable
+	// on small models.
+	CHFScale float64
+
 	// Grid resolution per layer.
 	GridNX, GridNY int
 }
@@ -114,6 +123,7 @@ func DefaultParams() Params {
 		SpreadingFactor: 8.0,
 
 		AmbientC: 25,
+		CHFScale: 1,
 		GridNX:   32,
 		GridNY:   32,
 	}
@@ -201,6 +211,20 @@ func Build(cfg Config) (*thermal.Model, error) {
 	immersed := cfg.Coolant.Immersive
 	pipe := cfg.Coolant.Name == material.WaterPipe.Name
 
+	// Boiling limits for every wetted surface. Pure metadata until a
+	// two-phase solve collapses cells, so stamped and unstamped
+	// models assemble identically. Pool boiling (Zuber) on bath-
+	// wetted faces; the flow enhancement where a pump forces the
+	// coolant (cold plate, microchannels); nothing for air.
+	poolCHF, flowPlateCHF, flowChannelCHF, filmCollapse := 0.0, 0.0, 0.0, 0.0
+	if fluid, ok := convection.FluidForCoolant(cfg.Coolant.Name); ok && fluid.Boils() {
+		scale := p.chfScale()
+		poolCHF = fluid.ZuberCHF() * scale
+		flowPlateCHF = fluid.FlowCHF(pipeFlowSpeedMS, p.SpreaderSide) * scale
+		flowChannelCHF = fluid.FlowCHF(channelFlowSpeedMS, w) * scale
+		filmCollapse = fluid.FilmBoilCollapse
+	}
+
 	// Edge convection applies to every die/bond layer only under
 	// immersion; in air the contribution is negligible but physical,
 	// so we keep it for the air option too.
@@ -213,14 +237,18 @@ func Build(cfg Config) (*thermal.Model, error) {
 
 	// Die and bond layers.
 	for i, d := range cfg.Dies {
-		m.Layers = append(m.Layers, thermal.Layer{
+		die := thermal.Layer{
 			Name:       fmt.Sprintf("die%d", i),
 			Thickness:  p.DieThickness,
 			K:          p.DieK,
 			VolHeatCap: material.Silicon.VolumetricHeatCapacity,
 			Power:      d.PowerMap(grid.NX, grid.NY, w, h),
 			EdgeCoeff:  edge,
-		})
+		}
+		if immersed {
+			die.CHFLimit, die.FilmBoilCollapse = poolCHF, filmCollapse
+		}
+		m.Layers = append(m.Layers, die)
 		if i < len(cfg.Dies)-1 {
 			bond := thermal.Layer{
 				Name:       fmt.Sprintf("bond%d", i),
@@ -228,6 +256,9 @@ func Build(cfg Config) (*thermal.Model, error) {
 				K:          p.BondK,
 				VolHeatCap: material.TIM.VolumetricHeatCapacity,
 				EdgeCoeff:  edge,
+			}
+			if immersed {
+				bond.CHFLimit, bond.FilmBoilCollapse = poolCHF, filmCollapse
 			}
 			if cfg.InterDieChannels {
 				// The microchannel layer is thicker (fluid passages)
@@ -237,6 +268,9 @@ func Build(cfg Config) (*thermal.Model, error) {
 				bond.Name = fmt.Sprintf("channel%d", i)
 				bond.Thickness = 100e-6
 				bond.ChannelCoeff = p.ChannelCoeff
+				// Pumped flow through the channels raises the limit
+				// above the pool value.
+				bond.CHFLimit, bond.FilmBoilCollapse = flowChannelCHF, filmCollapse
 			}
 			m.Layers = append(m.Layers, bond)
 		}
@@ -296,6 +330,7 @@ func Build(cfg Config) (*thermal.Model, error) {
 	case pipe:
 		// Cold plate directly on the spreader; no heatsink layers.
 		spreader.TopCoeff = p.PipeCoeff
+		spreader.CHFLimit, spreader.FilmBoilCollapse = flowPlateCHF, filmCollapse
 		m.Layers = append(m.Layers, spreader)
 		m.Extras = append(m.Extras, sprPeriph)
 		sp := len(m.Extras) - 1
@@ -316,12 +351,16 @@ func Build(cfg Config) (*thermal.Model, error) {
 		// The sink is mounted after coating (the film is broken on
 		// the spreader surface, Section 2.1), so its surface faces
 		// the coolant directly with no parylene in series.
-		m.Layers = append(m.Layers, thermal.Layer{
+		sink := thermal.Layer{
 			Name: "sink", Thickness: p.SinkBaseThick, K: p.SinkK,
 			VolHeatCap:   material.Copper.VolumetricHeatCapacity,
 			TopCoeff:     cfg.Coolant.H,
 			TopAreaBoost: finBoost,
-		})
+		}
+		if immersed {
+			sink.CHFLimit, sink.FilmBoilCollapse = poolCHF, filmCollapse
+		}
+		m.Layers = append(m.Layers, sink)
 
 		overhangSink := sinkBaseArea - dieArea
 		sinkSpreadDist := (p.SinkSide - minf(w, h)) / 2

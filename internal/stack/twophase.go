@@ -1,0 +1,43 @@
+package stack
+
+import (
+	"waterimm/internal/convection"
+	"waterimm/internal/material"
+)
+
+// Bulk flow speeds backing the flow-boiling CHF enhancement. Neither
+// is in Table 2; both sit in the middle of practical pump envelopes.
+const (
+	// pipeFlowSpeedMS is the cold-plate loop's bulk speed over the
+	// spreader-sized plate.
+	pipeFlowSpeedMS = 1.5
+	// channelFlowSpeedMS is the bulk speed through inter-die
+	// microchannel layers.
+	channelFlowSpeedMS = 2.0
+)
+
+// chfScale returns the Params' CHF multiplier with the zero-value
+// default of 1.
+func (p Params) chfScale() float64 {
+	if p.CHFScale <= 0 {
+		return 1
+	}
+	return p.CHFScale
+}
+
+// CHFLimitFor returns the critical-heat-flux limit in W/m² that
+// Build stamps onto the coolant's primary wetted surface, scaled by
+// Params.CHFScale. Pool boiling (Zuber) for immersion baths; the
+// flow-boiling enhancement for the pumped cold-plate loop. The second
+// return is false when the coolant cannot reach a boiling crisis
+// (air, or no property table) — flux is then unlimited.
+func CHFLimitFor(p Params, c material.Coolant) (float64, bool) {
+	f, ok := convection.FluidForCoolant(c.Name)
+	if !ok || !f.Boils() {
+		return 0, false
+	}
+	if c.Name == material.WaterPipe.Name {
+		return f.FlowCHF(pipeFlowSpeedMS, p.SpreaderSide) * p.chfScale(), true
+	}
+	return f.ZuberCHF() * p.chfScale(), true
+}

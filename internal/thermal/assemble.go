@@ -119,17 +119,21 @@ func walkConductances(m *Model, couple func(a, b int, g float64), tie func(a int
 		}
 	}
 
-	// Convective boundaries.
-	for l, layer := range m.Layers {
+	// Convective boundaries. Each tie is scaled by the cell's
+	// film-boiling multiplier (1 in single phase, 1/collapse past
+	// CHF) — a value change only, so topology and the structural
+	// tape stay intact.
+	for l := range m.Layers {
+		layer := &m.Layers[l]
 		gex := layer.EdgeCoeff * layer.Thickness * dy // west/east faces
 		gey := layer.EdgeCoeff * layer.Thickness * dx // south/north faces
 		for j := 0; j < g.NY; j++ {
-			tie(m.node(l, 0, j), gex)
-			tie(m.node(l, g.NX-1, j), gex)
+			tie(m.node(l, 0, j), gex*layer.filmScale(j*g.NX))
+			tie(m.node(l, g.NX-1, j), gex*layer.filmScale(j*g.NX+g.NX-1))
 		}
 		for i := 0; i < g.NX; i++ {
-			tie(m.node(l, i, 0), gey)
-			tie(m.node(l, i, g.NY-1), gey)
+			tie(m.node(l, i, 0), gey*layer.filmScale(i))
+			tie(m.node(l, i, g.NY-1), gey*layer.filmScale((g.NY-1)*g.NX+i))
 		}
 		boost := layer.TopAreaBoost
 		if boost <= 0 {
@@ -140,9 +144,10 @@ func walkConductances(m *Model, couple func(a, b int, g float64), tie func(a int
 		gc := layer.ChannelCoeff * cellArea
 		for c := 0; c < nc; c++ {
 			a := m.node(l, 0, 0) + c
-			tie(a, gt)
-			tie(a, gb)
-			tie(a, gc)
+			fs := layer.filmScale(c)
+			tie(a, gt*fs)
+			tie(a, gb*fs)
+			tie(a, gc*fs)
 		}
 	}
 

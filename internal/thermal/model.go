@@ -61,6 +61,29 @@ type Layer struct {
 	// heatsinks expose far more surface than their base; Table 2's
 	// 12×12 cm sink carries 0.3024 m²).
 	TopAreaBoost float64
+	// CHFLimit is the critical heat flux in W/m² of this layer's
+	// wetted faces (0 = no boiling limit, e.g. air cooling). Purely
+	// advisory metadata for the two-phase scan in twophase.go; it
+	// never changes the assembled conductances.
+	CHFLimit float64
+	// FilmBoilCollapse is the factor by which a wetted face's film
+	// coefficient collapses once its flux crosses CHFLimit (vapor
+	// blanket). Consulted by SolveTwoPhase; ≤1 falls back to 10.
+	FilmBoilCollapse float64
+	// FilmScale multiplies each cell's convective tie conductances
+	// (edge, top, bottom, channel) — the per-cell boiling-regime
+	// state. nil means all 1 (single phase); entries must stay
+	// strictly positive so structural-tape replay keeps its
+	// conductance-sign invariant. Length NX·NY when set.
+	FilmScale []float64
+}
+
+// filmScale returns the cell's convective-conductance multiplier.
+func (l *Layer) filmScale(c int) float64 {
+	if l.FilmScale == nil {
+		return 1
+	}
+	return l.FilmScale[c]
 }
 
 // Extra is a lumped node outside the grid (spreader/heatsink
@@ -123,6 +146,18 @@ func (m *Model) Validate() error {
 		}
 		if i < len(m.Layers)-1 && l.TopCoeff != 0 {
 			return fmt.Errorf("thermal: layer %d (%s) has top convection but is not the top layer", i, l.Name)
+		}
+		if l.FilmScale != nil {
+			if len(l.FilmScale) != m.Grid.Cells() {
+				return fmt.Errorf("thermal: layer %d (%s) film-scale map has %d cells, want %d",
+					i, l.Name, len(l.FilmScale), m.Grid.Cells())
+			}
+			for c, s := range l.FilmScale {
+				if !(s > 0) || math.IsNaN(s) {
+					return fmt.Errorf("thermal: layer %d (%s) film scale %g at cell %d; must be strictly positive",
+						i, l.Name, s, c)
+				}
+			}
 		}
 	}
 	for _, c := range m.Couplings {

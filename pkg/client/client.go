@@ -171,6 +171,18 @@ func (c *Client) MonteCarlo(ctx context.Context, req *api.MonteCarloRequest) (*a
 	return &resp, nil
 }
 
+// Audit runs a chip-roadmap audit synchronously (POST /v1/audit): for
+// every (chip, coolant) pair, the first year — under compounding
+// power-density growth — the pair fails on critical heat flux or on
+// the junction threshold.
+func (c *Client) Audit(ctx context.Context, req *api.AuditRequest) (*api.AuditResponse, error) {
+	var resp api.AuditResponse
+	if err := c.sync(ctx, "/v1/audit", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // SubmitJob enqueues a request of any kind — plan, cosim, sweep,
 // montecarlo — on the canonical job endpoint (POST /v1/jobs) under
 // the typed job envelope, and returns the job's initial snapshot

@@ -195,3 +195,34 @@ func TestEnvelopeWrapping(t *testing.T) {
 		}
 	}
 }
+
+// TestAudit pins the audit endpoint's path and decode: the typed
+// request lands on POST /v1/audit and the row payload round-trips.
+func TestAudit(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/audit" {
+			t.Errorf("request hit %s %s", r.Method, r.URL.Path)
+		}
+		var req api.AuditRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		if len(req.Chips) != 1 || req.Chips[0] != "lp" {
+			t.Errorf("request body chips: %v", req.Chips)
+		}
+		writeJSON(w, http.StatusOK, api.AuditResponse{
+			StartYear: 2026, EndYear: 2028, TotalCells: 3,
+			Rows: []api.AuditRow{{Chip: "low-power", Coolant: "fluorinert", FirstCHFFailYear: 2026, FirstFailYear: 2026}},
+		})
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	resp, err := c.Audit(context.Background(), &api.AuditRequest{Chips: []string{"lp"}, Coolants: []string{"fluorinert"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0].FirstCHFFailYear != 2026 {
+		t.Fatalf("audit response: %+v", resp)
+	}
+}
