@@ -13,9 +13,12 @@
 //	            [-drain-timeout 30s]
 //
 // The HTTP surface mirrors watersrvd — POST /v1/plan, /v1/cosim,
-// /v1/sweep, /v1/jobs, GET/DELETE /v1/jobs/{id}[, /result] — so
-// clients (pkg/client included) point at the router unchanged. Job IDs
-// gain a backend-affinity prefix ("b0!j000042-..."), and the
+// /v1/sweep, /v1/jobs, GET/DELETE /v1/jobs/{id}[, /result, /stream] —
+// so clients (pkg/client included) point at the router unchanged.
+// Streamed cosimstream jobs relay event-by-event from the owning
+// backend (a flush per read, no buffering), and edge-cached stream
+// results replay from the router's own tier with no backend traffic.
+// Job IDs gain a backend-affinity prefix ("b0!j000042-..."), and the
 // aggregated GET /v1/metrics reports the router's own counters, a
 // fleet-wide roll-up, and every backend's raw snapshot. GET /healthz
 // answers 200 while at least one backend takes new work, 503

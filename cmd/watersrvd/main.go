@@ -20,9 +20,10 @@
 //	POST   /v1/cosim           synchronous cosim request (api.CosimRequest body)
 //	POST   /v1/sweep           synchronous batched sweep (api.SweepRequest body)
 //	POST   /v1/audit           synchronous chip-roadmap audit (api.AuditRequest body)
-//	POST   /v1/jobs            async submit ({"plan": {...}}, {"cosim": {...}} or {"sweep": {...}})
+//	POST   /v1/jobs            async submit ({"type": "cosimstream", ...} and the other envelope kinds)
 //	GET    /v1/jobs/{id}       job status (sweep jobs carry per-cell progress)
 //	GET    /v1/jobs/{id}/result job result (202 while pending)
+//	GET    /v1/jobs/{id}/stream SSE interval feed of a cosimstream job (?from=N resumes)
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/metrics         engine metrics as JSON
 //	GET    /healthz            200 "ok", or 503 "draining" once shutdown began
@@ -44,7 +45,10 @@
 // instead of recomputing them. -cache-max-bytes bounds the store;
 // least-recently-used entries are evicted beyond it. Corrupt or
 // schema-stale entries are deleted and counted (disk_cache_corrupt
-// in /v1/metrics), never served.
+// in /v1/metrics), never served. The same store holds the mid-run
+// checkpoints of streaming co-simulation jobs, so a drain parks a
+// long transient at its current interval and the resubmitted request
+// resumes it on the restarted daemon with zero recomputed intervals.
 //
 // Robustness: every job runs under the -job-deadline wall-clock
 // budget (a stalled solve fails with deadline_exceeded instead of

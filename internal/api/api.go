@@ -33,7 +33,12 @@ import (
 // existing kind's canonical request encoding changed, so every prior
 // generation — and therefore every deployed cache entry — stays
 // valid; CacheGeneration holds at 2.
-const SchemaVersion = 4
+//
+// v5: added the cosimstream request kind (resumable streaming
+// co-simulation, its own key generation 5). No existing kind's
+// canonical encoding changed — every earlier per-kind generation and
+// every deployed cache entry stays valid; CacheGeneration holds at 2.
+const SchemaVersion = 5
 
 // CacheGeneration is the result-store envelope generation the
 // daemons pass to rcache.Open. It is deliberately decoupled from
@@ -57,13 +62,16 @@ func keyGeneration(kind string) int {
 		return 3
 	case "audit":
 		return 4
+	case "cosimstream":
+		return 5
 	}
 	panic(fmt.Sprintf("api: no key generation for kind %q", kind))
 }
 
 // Request is the common surface of the service's request kinds.
 type Request interface {
-	// Kind returns "plan", "cosim", "sweep", "montecarlo" or "audit".
+	// Kind returns "plan", "cosim", "sweep", "montecarlo", "audit"
+	// or "cosimstream".
 	Kind() string
 	// Normalize fills defaults and resolves aliases in place.
 	Normalize()
@@ -445,11 +453,12 @@ type CosimResponse struct {
 // the typed JobEnvelope; both are accepted by POST /v1/jobs (see
 // DecodeJobRequest).
 type Envelope struct {
-	Plan       *PlanRequest       `json:"plan,omitempty"`
-	Cosim      *CosimRequest      `json:"cosim,omitempty"`
-	Sweep      *SweepRequest      `json:"sweep,omitempty"`
-	Montecarlo *MonteCarloRequest `json:"montecarlo,omitempty"`
-	Audit      *AuditRequest      `json:"audit,omitempty"`
+	Plan        *PlanRequest        `json:"plan,omitempty"`
+	Cosim       *CosimRequest       `json:"cosim,omitempty"`
+	Sweep       *SweepRequest       `json:"sweep,omitempty"`
+	Montecarlo  *MonteCarloRequest  `json:"montecarlo,omitempty"`
+	Audit       *AuditRequest       `json:"audit,omitempty"`
+	Cosimstream *CosimStreamRequest `json:"cosimstream,omitempty"`
 }
 
 // Request unwraps the envelope, erroring unless exactly one kind is
@@ -471,11 +480,14 @@ func (e *Envelope) Request() (Request, error) {
 	if e.Audit != nil {
 		reqs = append(reqs, e.Audit)
 	}
+	if e.Cosimstream != nil {
+		reqs = append(reqs, e.Cosimstream)
+	}
 	switch len(reqs) {
 	case 1:
 		return reqs[0], nil
 	case 0:
-		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}}, {"sweep": {...}}, {"montecarlo": {...}} or {"audit": {...}})`)
+		return nil, fmt.Errorf(`api: envelope carries no request (want {"plan": {...}}, {"cosim": {...}}, {"sweep": {...}}, {"montecarlo": {...}}, {"audit": {...}} or {"cosimstream": {...}})`)
 	}
 	return nil, fmt.Errorf("api: envelope carries %d requests, want exactly one", len(reqs))
 }

@@ -64,6 +64,19 @@ func TestCacheKeysFrozen(t *testing.T) {
 				GridNX: 16, GridNY: 16, Flip: true},
 			"502cc97e67d9f119c3492afadef4c930c3c112d0a652031defd361b80e8f3149",
 		},
+		{
+			"cosimstream_default",
+			&CosimStreamRequest{},
+			"a6ba183c701278fb3b240b5ef93f0cb18513576716c80873870564ae2bf265e3",
+		},
+		{
+			"cosimstream_custom",
+			&CosimStreamRequest{Chip: "lp", Chips: 2, Coolant: "mineral-oil",
+				GHz: 1.5, IntervalS: 0.02, Intervals: 100, SubSteps: 1,
+				Trace:        []CosimStreamPhase{{DurationS: 1, Utilisation: 1}, {DurationS: 0.5, Utilisation: 0.2}},
+				DTMSetpointC: 75, GridNX: 16, GridNY: 16, CheckpointEvery: 25, MaxSamples: 50},
+			"c719fe19a7a6744526efbb128332d0b382868b7a8c5be89d8d102aaba8e2697a",
+		},
 	}
 	for _, c := range cases {
 		if got := c.req.CacheKey(); got != c.want {
@@ -89,5 +102,8 @@ func TestCacheGenerationFrozen(t *testing.T) {
 	}
 	if g := keyGeneration("audit"); g != 4 {
 		t.Errorf("keyGeneration(audit) = %d, want 4", g)
+	}
+	if g := keyGeneration("cosimstream"); g != 5 {
+		t.Errorf("keyGeneration(cosimstream) = %d, want 5", g)
 	}
 }

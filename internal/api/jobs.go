@@ -12,7 +12,7 @@ import (
 //	{"type": "montecarlo", "request": {"chips": 4, ...}}
 //
 // Accepted types are "simulate" (alias "plan"), "cosim", "sweep",
-// "montecarlo" and "audit". The legacy keyed union (Envelope) is still accepted
+// "montecarlo", "audit" and "cosimstream". The legacy keyed union (Envelope) is still accepted
 // on the same endpoint — DecodeJobRequest sniffs which shape a body
 // uses — so existing clients keep working unchanged.
 type JobEnvelope struct {
@@ -35,6 +35,8 @@ func jobTypes(t string) (Request, bool) {
 		return &MonteCarloRequest{}, true
 	case "audit":
 		return &AuditRequest{}, true
+	case "cosimstream":
+		return &CosimStreamRequest{}, true
 	}
 	return nil, false
 }
@@ -42,7 +44,7 @@ func jobTypes(t string) (Request, bool) {
 // JobTypeNames lists the accepted type discriminators, for error
 // messages and docs.
 func JobTypeNames() []string {
-	return []string{"simulate", "cosim", "sweep", "montecarlo", "audit"}
+	return []string{"simulate", "cosim", "sweep", "montecarlo", "audit", "cosimstream"}
 }
 
 // Decode unwraps the typed envelope into its request, rejecting

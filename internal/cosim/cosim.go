@@ -246,7 +246,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		if err := thermalSys.UpdatePower(); err != nil {
 			return nil, err
 		}
-		peak, err := stepper.Run(1)
+		peak, err := stepper.Run(ctx, 1)
 		if err != nil {
 			return nil, err
 		}

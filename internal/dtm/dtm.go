@@ -10,7 +10,9 @@
 package dtm
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"waterimm/internal/floorplan"
 	"waterimm/internal/material"
@@ -79,14 +81,24 @@ type Trace struct {
 // Run simulates the governor for the given duration, starting cold at
 // the chip's maximum VFS step.
 func (c *Controller) Run(durationS float64) (*Trace, error) {
+	return c.RunCtx(context.Background(), durationS)
+}
+
+// RunCtx is Run with cancellation: ctx is threaded into every
+// backward-Euler solve, so a cancel or deadline interrupts the
+// integration mid-period instead of waiting out the full duration.
+func (c *Controller) RunCtx(ctx context.Context, durationS float64) (*Trace, error) {
 	if c.Chips < 1 {
 		return nil, fmt.Errorf("dtm: need at least one chip")
 	}
 	if c.PeriodS <= 0 || durationS <= 0 {
 		return nil, fmt.Errorf("dtm: non-positive period or duration")
 	}
-	if c.SubSteps < 1 {
-		c.SubSteps = 1
+	// A local copy keeps Run read-only on its receiver: a Controller
+	// shared across runs must behave identically on each.
+	subSteps := c.SubSteps
+	if subSteps < 1 {
+		subSteps = 1
 	}
 	steps := c.Chip.Steps()
 	if len(steps) == 0 {
@@ -112,13 +124,16 @@ func (c *Controller) Run(durationS float64) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	stepper, err := thermal.NewStepper(sys, c.PeriodS/float64(c.SubSteps))
+	stepper, err := thermal.NewStepper(sys, c.PeriodS/float64(subSteps))
 	if err != nil {
 		return nil, err
 	}
 
 	trace := &Trace{}
-	n := int(durationS / c.PeriodS)
+	// Round to nearest: durations that are exact multiples of the
+	// period in decimal (0.3/0.01) can land just below the integer in
+	// binary floating point, and truncation would drop a whole period.
+	n := int(math.Round(durationS / c.PeriodS))
 	var ghzSum float64
 	for i := 0; i < n; i++ {
 		// Apply the current step's power to every die, evaluating
@@ -134,7 +149,7 @@ func (c *Controller) Run(durationS float64) (*Trace, error) {
 		if err := sys.UpdatePower(); err != nil {
 			return nil, err
 		}
-		peak, err := stepper.Run(c.SubSteps)
+		peak, err := stepper.Run(ctx, subSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package dtm
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"waterimm/internal/core"
@@ -98,5 +100,60 @@ func TestRunValidation(t *testing.T) {
 	c = NewController(power.LowPower, 2, material.Water)
 	if _, err := c.Run(0); err == nil {
 		t.Error("expected error for zero duration")
+	}
+}
+
+func TestRunPeriodCountRoundsToNearest(t *testing.T) {
+	// 0.3/0.01 is 29.999999999999996 in binary floating point;
+	// truncation used to drop the 30th control period. The count must
+	// round to nearest.
+	c := coarse(NewController(power.LowPower, 1, material.Water))
+	c.PeriodS = 0.01
+	c.SubSteps = 1
+	trace, err := c.Run(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(trace.Samples); got != 30 {
+		t.Fatalf("0.3 s at 0.01 s period produced %d samples, want 30", got)
+	}
+}
+
+func TestControllerReusableAcrossRuns(t *testing.T) {
+	// Run must not mutate its receiver (it used to write SubSteps=1
+	// back into the config): a shared Controller has to produce the
+	// same trace on every run.
+	c := coarse(NewController(power.LowPower, 1, material.Water))
+	c.PeriodS = 0.05
+	c.SubSteps = 0 // defaulted per run, never written back
+	first, err := c.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SubSteps != 0 {
+		t.Fatalf("Run mutated Controller.SubSteps to %d", c.SubSteps)
+	}
+	second, err := c.Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Samples) != len(second.Samples) {
+		t.Fatalf("reused controller changed behaviour: %d vs %d samples", len(first.Samples), len(second.Samples))
+	}
+	for i := range first.Samples {
+		if first.Samples[i] != second.Samples[i] {
+			t.Fatalf("sample %d differs across runs: %+v vs %+v", i, first.Samples[i], second.Samples[i])
+		}
+	}
+}
+
+func TestRunCtxHonoursCancellation(t *testing.T) {
+	c := coarse(NewController(power.LowPower, 1, material.Water))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunCtx(ctx, 1); err == nil {
+		t.Fatal("expected error from cancelled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
 	}
 }

@@ -83,6 +83,7 @@ func NewHandler(e *service.Engine, opts Options) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if opts.Pprof {

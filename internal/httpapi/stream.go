@@ -1,0 +1,135 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"waterimm/internal/api"
+	"waterimm/internal/service"
+)
+
+// stream serves a cosimstream job's interval feed as Server-Sent
+// Events: one "interval" event per coupling interval (its SSE id is
+// the 1-based sequence number) followed by a single "done" event
+// carrying the terminal job snapshot — with the full result payload
+// when the job finished. ?from=N skips intervals the client already
+// holds (N is the last sequence number it has seen), which is how a
+// client resumes a dropped stream: reconnect with from set to its
+// last id and the feed continues without duplicates.
+//
+// A cosimstream submission served whole from a cache tier has no live
+// feed; its recorded series is replayed the same way, so clients
+// cannot tell a cached stream from a freshly computed one except by
+// pace.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, fmt.Errorf("bad from parameter %q", q))
+			return
+		}
+		from = n
+	}
+	in, err := s.engine.Status(id)
+	if err != nil {
+		WriteError(w, http.StatusNotFound, ErrCodeNotFound, err)
+		return
+	}
+	if in.Kind != "cosimstream" {
+		WriteError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("job %s is a %s job; only cosimstream jobs stream", id, in.Kind))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		WriteError(w, http.StatusInternalServerError, ErrCodeInternal,
+			errors.New("response writer cannot stream"))
+		return
+	}
+	es := eventStream{w: w, fl: fl}
+	es.begin()
+
+	for {
+		batch, done, err := s.engine.StreamNext(r.Context(), id, from)
+		if errors.Is(err, service.ErrNotStreaming) {
+			s.replayCached(&es, id, from)
+			return
+		}
+		if err != nil {
+			// Client gone or request context cancelled: the SSE body
+			// just ends; the job keeps running and a reconnect with
+			// ?from= picks the feed back up.
+			return
+		}
+		for _, iv := range batch {
+			es.event("interval", iv.Seq, iv)
+			from = iv.Seq
+		}
+		if done && len(batch) == 0 {
+			res, err := s.engine.Result(id)
+			if err != nil {
+				// Terminal signal but no terminal snapshot is a GC race
+				// (the finished ring evicted the record); end the body.
+				return
+			}
+			es.event("done", 0, res)
+			return
+		}
+	}
+}
+
+// replayCached streams the recorded series of a cosimstream job that
+// was answered from a cache tier (no live feed exists). The recorded
+// Series is decimated to the request's max_samples, which is exactly
+// what the response payload promises.
+func (s *server) replayCached(es *eventStream, id string, from int) {
+	res, err := s.engine.Result(id)
+	if err != nil {
+		return
+	}
+	resp, ok := res.Result.(*api.CosimStreamResponse)
+	if ok {
+		for _, iv := range resp.Series {
+			if iv.Seq <= from {
+				continue
+			}
+			es.event("interval", iv.Seq, iv)
+		}
+	}
+	es.event("done", 0, res)
+}
+
+// eventStream writes Server-Sent Events, flushing after each so
+// intervals reach the client as they are computed, not when the
+// response buffer happens to fill.
+type eventStream struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (es *eventStream) begin() {
+	h := es.w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	// Tell buffering reverse proxies to pass events through as-is.
+	h.Set("X-Accel-Buffering", "no")
+	es.w.WriteHeader(http.StatusOK)
+	es.fl.Flush()
+}
+
+func (es *eventStream) event(name string, id int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if id > 0 {
+		fmt.Fprintf(es.w, "id: %d\n", id)
+	}
+	fmt.Fprintf(es.w, "event: %s\ndata: %s\n\n", name, data)
+	es.fl.Flush()
+}

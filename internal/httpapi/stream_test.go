@@ -1,0 +1,249 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"waterimm/internal/api"
+	"waterimm/internal/service"
+)
+
+const streamJobBody = `{"type": "cosimstream", "request": {
+	"chip": "lp", "ghz": 1.5, "interval_s": 0.01, "intervals": 8,
+	"sub_steps": 1, "grid_nx": 16, "grid_ny": 16, "max_samples": 1000}}`
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	id   string
+	data string
+}
+
+// readSSE consumes an SSE body to EOF (the handler closes the stream
+// after the done event) and returns the parsed events.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			cur.name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE body: %v", err)
+	}
+	return events
+}
+
+// checkStreamEvents asserts a feed of contiguous intervals from
+// firstSeq through lastSeq followed by exactly one terminal done
+// event, and returns the done job snapshot.
+func checkStreamEvents(t *testing.T, events []sseEvent, firstSeq, lastSeq int) service.JobInfo {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty SSE feed")
+	}
+	want := firstSeq
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "interval" {
+			t.Fatalf("unexpected event %q before done", ev.name)
+		}
+		var iv api.CosimStreamInterval
+		if err := json.Unmarshal([]byte(ev.data), &iv); err != nil {
+			t.Fatalf("interval payload: %v", err)
+		}
+		if iv.Seq != want || ev.id != fmt.Sprint(want) {
+			t.Fatalf("interval seq %d (id %q), want %d", iv.Seq, ev.id, want)
+		}
+		want++
+	}
+	if want != lastSeq+1 {
+		t.Fatalf("feed ended at seq %d, want %d", want-1, lastSeq)
+	}
+	last := events[len(events)-1]
+	if last.name != "done" {
+		t.Fatalf("final event %q, want done", last.name)
+	}
+	var in service.JobInfo
+	if err := json.Unmarshal([]byte(last.data), &in); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	return in
+}
+
+func TestStreamEndpointServesIntervalsAndDone(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	resp, body := post(t, ts.URL+"/v1/jobs", streamJobBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var in service.JobInfo
+	if err := json.Unmarshal(body, &in); err != nil {
+		t.Fatal(err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + in.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := checkStreamEvents(t, readSSE(t, sresp), 1, 8)
+	if done.State != service.StateDone {
+		t.Fatalf("done event state %s, error %q", done.State, done.Error)
+	}
+	res, ok := done.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("done event result %T", done.Result)
+	}
+	if res["intervals"] != float64(8) {
+		t.Fatalf("done event result: %+v", res)
+	}
+
+	// Replay with ?from=5: the feed resumes at seq 6 without
+	// duplicates — the reconnect contract after a dropped stream.
+	sresp, err = http.Get(ts.URL + "/v1/jobs/" + in.ID + "/stream?from=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStreamEvents(t, readSSE(t, sresp), 6, 8)
+
+	// An identical resubmission is a cache hit with no live feed; the
+	// endpoint replays the recorded series indistinguishably.
+	resp, body = post(t, ts.URL+"/v1/jobs", streamJobBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached submit: %d %s", resp.StatusCode, body)
+	}
+	var hit service.JobInfo
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("resubmission not a cache hit: %+v", hit)
+	}
+	sresp, err = http.Get(ts.URL + "/v1/jobs/" + hit.ID + "/stream?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done = checkStreamEvents(t, readSSE(t, sresp), 3, 8)
+	if done.State != service.StateDone || !done.CacheHit {
+		t.Fatalf("cached done event: %+v", done)
+	}
+}
+
+// TestClientCosimStreamEndToEnd drives the real handler through the
+// client library's streaming helper: every interval is delivered to
+// the callback exactly once and the final response round-trips.
+func TestClientCosimStreamEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{})
+	c := newTestClient(t, ts)
+	var seen []int
+	resp, err := c.CosimStream(context.Background(), &api.CosimStreamRequest{
+		Chip: "lp", GHz: 1.5, IntervalS: 0.01, Intervals: 8,
+		SubSteps: 1, GridNX: 16, GridNY: 16, MaxSamples: 1000,
+	}, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Intervals != 8 || len(resp.Series) != 8 {
+		t.Fatalf("response: %+v", resp)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("callback saw %v, want 1..8", seen)
+	}
+	for i, seq := range seen {
+		if seq != i+1 {
+			t.Fatalf("callback feed %v has a gap or duplicate", seen)
+		}
+	}
+
+	// The identical call again is answered from cache; the callback
+	// still sees the full recorded feed.
+	seen = nil
+	resp2, err := c.CosimStream(context.Background(), &api.CosimStreamRequest{
+		Chip: "lp", GHz: 1.5, IntervalS: 0.01, Intervals: 8,
+		SubSteps: 1, GridNX: 16, GridNY: 16, MaxSamples: 1000,
+	}, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 || resp2.Intervals != 8 {
+		t.Fatalf("cached replay: seen %v resp %+v", seen, resp2)
+	}
+}
+
+func TestStreamEndpointRejections(t *testing.T) {
+	ts, e := newTestServer(t, service.Config{})
+
+	// Unknown job.
+	resp, err := http.Get(ts.URL + "/v1/jobs/j000000-nope/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+
+	// Non-streaming kind.
+	in, err := e.Submit(&api.PlanRequest{Chip: "lp", GridNX: 8, GridNY: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + in.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plan job stream: %d", resp.StatusCode)
+	}
+
+	// Malformed from.
+	resp, body := post(t, ts.URL+"/v1/jobs", streamJobBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sin service.JobInfo
+	if err := json.Unmarshal(body, &sin); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + sin.ID + "/stream?from=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative from: %d", resp.StatusCode)
+	}
+}

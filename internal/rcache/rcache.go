@@ -265,6 +265,18 @@ func (s *Store) Get(key string) (kind string, payload []byte, ok bool) {
 	return env.Kind, env.Payload, true
 }
 
+// Remove deletes an entry without counting it corrupt: the caller is
+// retiring a live entry it no longer needs (e.g. a stream checkpoint
+// consumed by the run it resumed), not reacting to damage.
+func (s *Store) Remove(key string) {
+	if !validKey(key) {
+		return
+	}
+	s.mu.Lock()
+	s.removeLocked(key)
+	s.mu.Unlock()
+}
+
 // Discard deletes an entry and counts it corrupt. The service layer
 // calls it when an entry passed the store's checks but its payload no
 // longer decodes into the expected response type.

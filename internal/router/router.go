@@ -204,6 +204,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", rt.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.jobProxy)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.jobProxy)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.streamProxy)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.jobProxy)
 	return httpapi.WithRequestID(mux)
 }

@@ -23,6 +23,10 @@ func decodeResult(kind string, payload []byte) (any, error) {
 		res = &api.SweepResponse{}
 	case "montecarlo":
 		res = &api.MonteCarloResponse{}
+	case "audit":
+		res = &api.AuditResponse{}
+	case "cosimstream":
+		res = &api.CosimStreamResponse{}
 	default:
 		return nil, fmt.Errorf("service: unknown cached result kind %q", kind)
 	}
@@ -84,6 +88,11 @@ func (e *Engine) warmFromDisk() {
 		kind, payload, ok := e.disk.Get(en.Key)
 		if !ok {
 			continue // corrupt or stale: the store deleted and counted it
+		}
+		if kind == streamCheckpointKind {
+			// Stream checkpoints share the store but are not results:
+			// they stay on disk for the resubmission that resumes them.
+			continue
 		}
 		res, err := decodeResult(kind, payload)
 		if err != nil {

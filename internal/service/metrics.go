@@ -100,6 +100,21 @@ type metrics struct {
 	chfViolations    uint64
 	filmBoilingCells uint64
 
+	// Streaming co-simulation counters: streamJobs counts cosimstream
+	// jobs that ran their orchestrator; streamIntervals counts
+	// intervals actually solved here (resumed intervals are not
+	// re-solved, so across a restart streamIntervals +
+	// streamResumedIntervals = the run length); streamCheckpoints
+	// counts resumable-state spills to the disk tier; streamResumes
+	// counts jobs that picked a checkpoint back up, and
+	// streamResumedIntervals the intervals those checkpoints carried —
+	// the work a restart did NOT redo.
+	streamJobs             uint64
+	streamIntervals        uint64
+	streamCheckpoints      uint64
+	streamResumes          uint64
+	streamResumedIntervals uint64
+
 	// runEWMAS is an exponentially weighted moving average of job run
 	// times in seconds (α = 0.2), the basis of the engine's queue-wait
 	// prediction and Retry-After hints.
@@ -252,6 +267,20 @@ type Snapshot struct {
 	CHFViolations    uint64 `json:"chf_violations"`
 	FilmBoilingCells uint64 `json:"film_boiling_cells"`
 
+	// Streaming co-simulation. StreamJobs counts cosimstream jobs that
+	// ran their orchestrator (whole-job cache hits count in CacheHits).
+	// StreamIntervals counts intervals solved by this process;
+	// StreamCheckpoints counts resumable-state spills to the disk tier.
+	// StreamResumes counts jobs that resumed from a checkpoint and
+	// StreamResumedIntervals the intervals those checkpoints carried —
+	// across a drain/restart, StreamIntervals + StreamResumedIntervals
+	// equals the run length, with zero intervals recomputed.
+	StreamJobs             uint64 `json:"stream_jobs"`
+	StreamIntervals        uint64 `json:"stream_intervals"`
+	StreamCheckpoints      uint64 `json:"stream_checkpoints"`
+	StreamResumes          uint64 `json:"stream_resumes"`
+	StreamResumedIntervals uint64 `json:"stream_resumed_intervals"`
+
 	// Persistent-tier gauges, zero when no -cache-dir is configured.
 	// DiskCacheCorrupt counts entries deleted because they failed an
 	// integrity check (checksum, schema generation, key, decode) —
@@ -301,27 +330,32 @@ func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		JobsSubmitted:        m.jobsSubmitted,
-		JobsDone:             m.jobsDone,
-		JobsFailed:           m.jobsFailed,
-		JobsCanceled:         m.jobsCanceled,
-		JobsShed:             m.jobsShed,
-		JobsDeadlineExceeded: m.jobsDeadline,
-		PanicsRecovered:      m.panicsRecovered,
-		QueueFullRejects:     m.queueFullRejects,
-		OverloadRejects:      m.overloadRejects,
-		RunEWMAS:             m.runEWMAS,
-		CacheHits:            m.cacheHitsMem + m.cacheHitsDisk,
-		CacheHitsMem:         m.cacheHitsMem,
-		CacheHitsDisk:        m.cacheHitsDisk,
-		CacheMisses:          m.cacheMisses,
-		DedupHits:            m.dedupHits,
-		MCJobs:               m.mcJobs,
-		MCSamplesDeduped:     m.mcSamplesDeduped,
-		AuditJobs:            m.auditJobs,
-		CHFViolations:        m.chfViolations,
-		FilmBoilingCells:     m.filmBoilingCells,
-		LatencyS:             make(map[string]*Histogram, len(m.hists)),
+		JobsSubmitted:          m.jobsSubmitted,
+		JobsDone:               m.jobsDone,
+		JobsFailed:             m.jobsFailed,
+		JobsCanceled:           m.jobsCanceled,
+		JobsShed:               m.jobsShed,
+		JobsDeadlineExceeded:   m.jobsDeadline,
+		PanicsRecovered:        m.panicsRecovered,
+		QueueFullRejects:       m.queueFullRejects,
+		OverloadRejects:        m.overloadRejects,
+		RunEWMAS:               m.runEWMAS,
+		CacheHits:              m.cacheHitsMem + m.cacheHitsDisk,
+		CacheHitsMem:           m.cacheHitsMem,
+		CacheHitsDisk:          m.cacheHitsDisk,
+		CacheMisses:            m.cacheMisses,
+		DedupHits:              m.dedupHits,
+		MCJobs:                 m.mcJobs,
+		MCSamplesDeduped:       m.mcSamplesDeduped,
+		AuditJobs:              m.auditJobs,
+		CHFViolations:          m.chfViolations,
+		FilmBoilingCells:       m.filmBoilingCells,
+		StreamJobs:             m.streamJobs,
+		StreamIntervals:        m.streamIntervals,
+		StreamCheckpoints:      m.streamCheckpoints,
+		StreamResumes:          m.streamResumes,
+		StreamResumedIntervals: m.streamResumedIntervals,
+		LatencyS:               make(map[string]*Histogram, len(m.hists)),
 	}
 	if total := s.CacheHits + m.cacheMisses; total > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(total)

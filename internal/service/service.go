@@ -182,6 +182,11 @@ type JobInfo struct {
 	// Progress is the per-cell completion state of a sweep or
 	// montecarlo job, updated live while it runs; nil for other kinds.
 	Progress *api.SweepProgress `json:"progress,omitempty"`
+	// ResumedFromSeq is the interval a cosimstream job resumed from
+	// after a restart recovered its disk checkpoint; 0 for a cold
+	// start. Operational telemetry only — the result payload of a
+	// resumed run is byte-identical to an uninterrupted one.
+	ResumedFromSeq int `json:"resumed_from_seq,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
@@ -216,6 +221,14 @@ type job struct {
 	// progress is set for sweep and montecarlo jobs, written under
 	// Engine.mu as cells finish.
 	progress *api.SweepProgress
+
+	// stream is the live interval feed of a cosimstream job; nil for
+	// every other kind. It has its own lock — readers block on new
+	// intervals without touching Engine.mu.
+	stream *streamState
+	// resumedFrom is the checkpointed interval a cosimstream job
+	// resumed from, written under Engine.mu by its orchestrator.
+	resumedFrom int
 }
 
 func (j *job) info() JobInfo {
@@ -232,6 +245,7 @@ func (j *job) info() JobInfo {
 		p := *j.progress
 		in.Progress = &p
 	}
+	in.ResumedFromSeq = j.resumedFrom
 	return in
 }
 
@@ -442,6 +456,24 @@ func (e *Engine) submit(req api.Request, internal bool) (JobInfo, error) {
 		return j.info(), nil
 	}
 
+	// A streaming co-simulation is the fourth orchestrator shape, but
+	// unlike the fan-out kinds it is a single long-running solve: it
+	// owns a stepper for the job's whole lifetime, pushes each interval
+	// into the job's stream buffer as it lands, and checkpoints its
+	// resumable state to the disk tier so a drain or crash resumes
+	// mid-run. Parking it on a pool worker would pin that worker for
+	// the full simulated duration, so it rides the sweeps WaitGroup —
+	// which also puts its checkpoint writes inside Drain's barrier.
+	if sr, ok := req.(*api.CosimStreamRequest); ok {
+		j.progress = &api.SweepProgress{TotalCells: sr.Intervals}
+		j.stream = newStreamState()
+		e.inflight[key] = j
+		e.metrics.add(&e.metrics.streamJobs, 1)
+		e.sweeps.Add(1)
+		go e.runStream(j, sr)
+		return j.info(), nil
+	}
+
 	select {
 	case e.queue <- j:
 	default:
@@ -644,6 +676,14 @@ func (e *Engine) failLocked(j *job, err error) {
 		j.state = StateFailed
 		j.errCode = CodeShed
 		e.metrics.add(&e.metrics.jobsShed, 1)
+	case errors.Is(err, ErrStreamDrained):
+		// A draining engine parked the stream behind a checkpoint; the
+		// job's own context is still live, so this must be classified
+		// before the ctx checks. Cancelled like a drain-aborted job —
+		// a resubmission after restart picks the checkpoint back up.
+		j.state = StateCanceled
+		j.errCode = CodeCanceled
+		e.metrics.add(&e.metrics.jobsCanceled, 1)
 	case errors.Is(j.ctx.Err(), context.DeadlineExceeded):
 		j.state = StateFailed
 		j.errCode = CodeDeadline

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -183,7 +184,7 @@ func TestMultigridTransientCompatible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Run(3); err != nil {
+	if _, err := st.Run(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 }

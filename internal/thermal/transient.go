@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -32,7 +33,10 @@ func NewStepper(sys *System, dt float64) (*Stepper, error) {
 		return nil, fmt.Errorf("thermal: non-positive time step %g", dt)
 	}
 	for i, c := range sys.Capacity {
-		if c < 0 || math.IsNaN(c) {
+		// +Inf must be rejected alongside NaN and negatives: an infinite
+		// C/Δt would make the shifted diagonal infinite and its invDiag
+		// silently zero, wedging the solve.
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 			return nil, fmt.Errorf("thermal: invalid capacity %g at node %d", c, i)
 		}
 	}
@@ -83,12 +87,15 @@ func (st *Stepper) Time() float64 { return st.time }
 // approaches quasi-steady state, where the per-step change (and with
 // it the old, self-tightening reference) shrinks toward zero and
 // would otherwise force full-depth CG on every near-converged step.
-func (st *Stepper) Step() error {
+//
+// Ctx is polled between CG iterations inside the solve, so a long
+// integration honors cancel/deadline mid-step, not just between steps.
+func (st *Stepper) Step(ctx context.Context) error {
 	for i := range st.shifted.Q {
 		st.shifted.Q[i] = st.sys.Q[i] + st.sys.Capacity[i]/st.dt*st.T[i]
 	}
 	t, err := st.shifted.SolveSteady(SolveOptions{
-		Guess: st.T, Tol: 1e-6, TolRef: st.sys.ColdStartResidual(),
+		Ctx: ctx, Guess: st.T, Tol: 1e-6, TolRef: st.sys.ColdStartResidual(),
 	})
 	if err != nil {
 		return fmt.Errorf("thermal: transient step at t=%.4gs: %w", st.time, err)
@@ -100,9 +107,9 @@ func (st *Stepper) Step() error {
 
 // Run advances n steps and returns the peak grid temperature after
 // the last one.
-func (st *Stepper) Run(n int) (float64, error) {
+func (st *Stepper) Run(ctx context.Context, n int) (float64, error) {
 	for i := 0; i < n; i++ {
-		if err := st.Step(); err != nil {
+		if err := st.Step(ctx); err != nil {
 			return 0, err
 		}
 	}
@@ -115,4 +122,45 @@ func (st *Stepper) Result() *Result {
 	t := make([]float64, len(st.T))
 	copy(t, st.T)
 	return &Result{Model: st.sys.model, T: t}
+}
+
+// Checkpoint is a serializable snapshot of a Stepper's integration
+// state: the temperature field plus the simulated time. Go's JSON
+// encoding round-trips float64 values exactly (shortest-representation
+// marshaling), so a checkpoint restored from disk resumes the
+// trajectory bit-identically to an uninterrupted run.
+type Checkpoint struct {
+	TimeS float64   `json:"time_s"`
+	T     []float64 `json:"t"`
+}
+
+// Checkpoint snapshots the stepper's resumable state. The returned
+// value owns its field copy; mutating it does not disturb the stepper.
+func (st *Stepper) Checkpoint() *Checkpoint {
+	t := make([]float64, len(st.T))
+	copy(t, st.T)
+	return &Checkpoint{TimeS: st.time, T: t}
+}
+
+// Restore rewinds (or fast-forwards) the stepper to a checkpoint taken
+// from an identically-assembled system. The checkpoint must carry one
+// finite temperature per node and a finite non-negative time.
+func (st *Stepper) Restore(c *Checkpoint) error {
+	if c == nil {
+		return fmt.Errorf("thermal: nil checkpoint")
+	}
+	if len(c.T) != st.sys.N {
+		return fmt.Errorf("thermal: checkpoint has %d nodes, stepper has %d", len(c.T), st.sys.N)
+	}
+	if c.TimeS < 0 || math.IsNaN(c.TimeS) || math.IsInf(c.TimeS, 0) {
+		return fmt.Errorf("thermal: invalid checkpoint time %g", c.TimeS)
+	}
+	for i, v := range c.T {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("thermal: invalid checkpoint temperature %g at node %d", v, i)
+		}
+	}
+	copy(st.T, c.T)
+	st.time = c.TimeS
+	return nil
 }

@@ -1,6 +1,9 @@
 package thermal
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"math"
 	"testing"
 )
@@ -22,7 +25,7 @@ func TestTransientConvergesToSteadyState(t *testing.T) {
 	// The slab time constant is C/G ≈ ρc·t / h ≈ 1.75e6·1e-3/400 ≈
 	// 4.4 s; 600 steps of 20 ms cover ~3 time constants... run enough
 	// to converge within a fraction of a degree.
-	if _, err := st.Run(2000); err != nil {
+	if _, err := st.Run(context.Background(), 2000); err != nil {
 		t.Fatal(err)
 	}
 	res := st.Result()
@@ -47,7 +50,7 @@ func TestTransientMonotonicHeating(t *testing.T) {
 	}
 	prev := 25.0
 	for i := 0; i < 40; i++ {
-		max, err := st.Run(1)
+		max, err := st.Run(context.Background(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +71,7 @@ func TestTransientStepSizeInsensitivity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		max, err := st.Run(steps)
+		max, err := st.Run(context.Background(), steps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +92,7 @@ func TestTransientPowerStepResponse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hot, err := st.Run(50)
+	hot, err := st.Run(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestTransientPowerStepResponse(t *testing.T) {
 	if err := sys.UpdatePower(); err != nil {
 		t.Fatal(err)
 	}
-	cooled, err := st.Run(10)
+	cooled, err := st.Run(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,5 +119,116 @@ func TestStepperRejectsBadDT(t *testing.T) {
 	}
 	if _, err := NewStepper(sys, -1); err == nil {
 		t.Error("expected error for negative time step")
+	}
+}
+
+func TestStepperRejectsInfCapacity(t *testing.T) {
+	// +Inf capacity would put an infinite C/Δt on the shifted diagonal
+	// and silently zero its inverse — it must be rejected at
+	// construction like NaN and negatives already are.
+	m := slab(8, 8, 1, 100)
+	sys, _ := Assemble(m)
+	sys.Capacity[3] = math.Inf(1)
+	if _, err := NewStepper(sys, 0.01); err == nil {
+		t.Error("expected error for +Inf capacity")
+	}
+	sys.Capacity[3] = math.Inf(-1)
+	if _, err := NewStepper(sys, 0.01); err == nil {
+		t.Error("expected error for -Inf capacity")
+	}
+}
+
+func TestStepperRunHonoursContext(t *testing.T) {
+	m := slab(8, 8, 6, 300)
+	sys, _ := Assemble(m)
+	st, err := NewStepper(sys, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.Run(ctx, 10); err == nil {
+		t.Fatal("expected error from cancelled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+func TestStepperCheckpointRestoreBitIdentical(t *testing.T) {
+	// Interrupt an integration at step 12, round-trip the checkpoint
+	// through JSON (the on-disk format), restore into a fresh stepper,
+	// and finish: the resumed trajectory must be bit-identical to an
+	// uninterrupted run — the foundation of streaming-job resume.
+	ctx := context.Background()
+	m := slab(8, 8, 6, 300)
+	sys, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Stepper {
+		st, err := NewStepper(sys, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	ref := mk()
+	if _, err := ref.Run(ctx, 30); err != nil {
+		t.Fatal(err)
+	}
+
+	first := mk()
+	if _, err := first.Run(ctx, 12); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(first.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := mk()
+	if err := resumed.Restore(&ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Run(ctx, 18); err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.Time() != ref.Time() {
+		t.Fatalf("simulated time diverged: resumed %v vs uninterrupted %v", resumed.Time(), ref.Time())
+	}
+	got, want := resumed.Result(), ref.Result()
+	for i := range want.T {
+		if got.T[i] != want.T[i] {
+			t.Fatalf("node %d not bit-identical: resumed %v vs uninterrupted %v", i, got.T[i], want.T[i])
+		}
+	}
+}
+
+func TestStepperRestoreRejectsBadCheckpoint(t *testing.T) {
+	m := slab(8, 8, 1, 100)
+	sys, _ := Assemble(m)
+	st, err := NewStepper(sys, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Restore(nil); err == nil {
+		t.Error("expected error for nil checkpoint")
+	}
+	if err := st.Restore(&Checkpoint{TimeS: 1, T: make([]float64, sys.N-1)}); err == nil {
+		t.Error("expected error for wrong field length")
+	}
+	if err := st.Restore(&Checkpoint{TimeS: -1, T: make([]float64, sys.N)}); err == nil {
+		t.Error("expected error for negative time")
+	}
+	bad := make([]float64, sys.N)
+	bad[0] = math.NaN()
+	if err := st.Restore(&Checkpoint{TimeS: 1, T: bad}); err == nil {
+		t.Error("expected error for NaN temperature")
 	}
 }

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"waterimm/internal/api"
+)
+
+// StreamJob attaches to a cosimstream job's Server-Sent Event feed
+// (GET /v1/jobs/{id}/stream) and invokes fn once per interval event,
+// in sequence order, until the stream's terminal done event arrives —
+// whose job snapshot is returned. fromSeq is the last sequence number
+// the caller already holds (0 for a fresh stream); intervals at or
+// below it are never delivered, which makes reconnecting after a
+// dropped stream duplicate-free.
+//
+// An error returned by fn aborts the stream and is returned verbatim.
+// A stream that ends without a done event (the connection dropped, or
+// the server went away mid-feed) is an error too; CosimStream wraps
+// this call with the resubmit-and-resume loop most callers want.
+func (c *Client) StreamJob(ctx context.Context, id string, fromSeq int, fn func(api.CosimStreamInterval) error) (*Job, error) {
+	u := *c.base
+	u.Path = "/v1/jobs/" + url.PathEscape(id) + "/stream"
+	if fromSeq > 0 {
+		u.RawQuery = "from=" + strconv.Itoa(fromSeq)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, apiError(resp.StatusCode, body, resp.Header)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			switch event {
+			case "interval":
+				var iv api.CosimStreamInterval
+				if err := json.Unmarshal([]byte(data), &iv); err != nil {
+					return nil, fmt.Errorf("client: stream %s: bad interval payload: %w", id, err)
+				}
+				if iv.Seq > fromSeq {
+					if fn != nil {
+						if err := fn(iv); err != nil {
+							return nil, err
+						}
+					}
+					fromSeq = iv.Seq
+				}
+			case "done":
+				var j Job
+				if err := json.Unmarshal([]byte(data), &j); err != nil {
+					return nil, fmt.Errorf("client: stream %s: bad done payload: %w", id, err)
+				}
+				return &j, nil
+			}
+			event, data = "", ""
+		case len(line) > 7 && line[:7] == "event: ":
+			event = line[7:]
+		case len(line) > 6 && line[:6] == "data: ":
+			data = line[6:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: stream %s dropped: %w", id, err)
+	}
+	return nil, fmt.Errorf("client: stream %s ended without a done event", id)
+}
+
+// CosimStream runs an interval-coupled co-simulation as a streaming
+// job: it submits req, attaches to the SSE feed, and calls fn (which
+// may be nil) exactly once per interval in sequence order, returning
+// the final response when the run completes.
+//
+// The call survives server restarts. When the stream drops or the job
+// parks canceled (the backend drained and checkpointed it), the
+// request is resubmitted — the server resumes the solve from its disk
+// checkpoint and the fresh feed is deduplicated against the last
+// sequence number already delivered, so fn still sees each interval
+// exactly once. Up to MaxRetries reconnects are attempted; errors
+// from fn and non-transient API errors abort immediately.
+func (c *Client) CosimStream(ctx context.Context, req *api.CosimStreamRequest, fn func(api.CosimStreamInterval) error) (*api.CosimStreamResponse, error) {
+	last := 0
+	var fnErr error
+	wrapped := func(iv api.CosimStreamInterval) error {
+		if iv.Seq <= last {
+			return nil
+		}
+		last = iv.Seq
+		if fn != nil {
+			if err := fn(iv); err != nil {
+				fnErr = err
+				return err
+			}
+		}
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		j, err := c.SubmitJob(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		final, err := c.StreamJob(ctx, j.ID, last, wrapped)
+		if err != nil {
+			if fnErr != nil {
+				return nil, fnErr
+			}
+			var ae *APIError
+			if errors.As(err, &ae) && !ae.Transient() {
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if attempt >= c.MaxRetries {
+				return nil, err
+			}
+		} else {
+			switch final.State {
+			case "done":
+				var resp api.CosimStreamResponse
+				if err := decodeInto(final.Result, &resp); err != nil {
+					return nil, err
+				}
+				return &resp, nil
+			case "canceled":
+				// The backend drained mid-run and checkpointed the
+				// solve; resubmitting resumes it where it parked.
+				if attempt >= c.MaxRetries {
+					return nil, fmt.Errorf("client: stream job %s still canceled after %d attempts: %s", final.ID, attempt+1, final.Error)
+				}
+			default:
+				return nil, fmt.Errorf("client: stream job %s ended %s: %s", final.ID, final.State, final.Error)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.retryDelay(attempt, 0)):
+		}
+	}
+}

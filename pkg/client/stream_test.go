@@ -1,0 +1,228 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"waterimm/internal/api"
+)
+
+// sseIntervals writes interval events for seqs first..last in the
+// server's wire framing.
+func sseIntervals(w http.ResponseWriter, first, last int) {
+	for seq := first; seq <= last; seq++ {
+		iv := api.CosimStreamInterval{Seq: seq, TimeS: float64(seq) * 0.01, GHz: 1.5, PeakC: 60}
+		data, _ := json.Marshal(iv)
+		fmt.Fprintf(w, "id: %d\nevent: interval\ndata: %s\n\n", seq, data)
+	}
+}
+
+func sseDone(w http.ResponseWriter, state string, result any) {
+	snap := map[string]any{"id": "j000001-abc", "kind": "cosimstream", "state": state}
+	if result != nil {
+		snap["result"] = result
+	}
+	data, _ := json.Marshal(snap)
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+}
+
+func TestStreamJobDeliversIntervalsInOrder(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j000001-abc/stream" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseIntervals(w, 1, 5)
+		sseDone(w, "done", api.CosimStreamResponse{Intervals: 5})
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	var seen []int
+	final, err := c.StreamJob(context.Background(), "j000001-abc", 0, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %v, want 1..5", seen)
+	}
+	for i, seq := range seen {
+		if seq != i+1 {
+			t.Fatalf("interval gap: %v", seen)
+		}
+	}
+	if final.State != "done" {
+		t.Fatalf("final state %q", final.State)
+	}
+}
+
+// TestStreamJobSkipsAlreadySeen pins the client-side dedup guard: even
+// if the server ignores ?from and replays the whole feed, intervals at
+// or below fromSeq never reach fn.
+func TestStreamJobSkipsAlreadySeen(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("from"); got != "3" {
+			t.Errorf("from=%q, want 3", got)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseIntervals(w, 1, 6) // misbehaving server: replays from 1
+		sseDone(w, "done", nil)
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	var seen []int
+	if _, err := c.StreamJob(context.Background(), "j1", 3, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 4 || seen[2] != 6 {
+		t.Fatalf("post-dedup feed %v, want [4 5 6]", seen)
+	}
+}
+
+func TestStreamJobSurfacesFnError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseIntervals(w, 1, 10)
+		sseDone(w, "done", nil)
+	}))
+	defer ts.Close()
+
+	boom := errors.New("boom")
+	c := newClient(t, ts)
+	_, err := c.StreamJob(context.Background(), "j1", 0, func(iv api.CosimStreamInterval) error {
+		if iv.Seq == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+}
+
+// TestCosimStreamResumesAfterDrop is the client half of the
+// drain/resume contract: the first stream drops mid-feed without a
+// done event, the resubmission resumes, and fn still sees every
+// interval exactly once.
+func TestCosimStreamResumesAfterDrop(t *testing.T) {
+	var submits, streams atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			n := submits.Add(1)
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id": fmt.Sprintf("j%06d-abc", n), "kind": "cosimstream", "state": "running",
+			})
+		case r.Method == http.MethodGet:
+			w.Header().Set("Content-Type", "text/event-stream")
+			if streams.Add(1) == 1 {
+				// First attempt: feed drops after 4 intervals, no done
+				// event — as when the backend is SIGTERMed mid-run.
+				sseIntervals(w, 1, 4)
+				return
+			}
+			// Resumed run: the client must ask for from=4.
+			if got := r.URL.Query().Get("from"); got != "4" {
+				t.Errorf("resumed stream from=%q, want 4", got)
+			}
+			sseIntervals(w, 5, 8)
+			sseDone(w, "done", api.CosimStreamResponse{Intervals: 8, Seconds: 0.08})
+		}
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	var seen []int
+	resp, err := c.CosimStream(context.Background(), &api.CosimStreamRequest{}, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Intervals != 8 {
+		t.Fatalf("response %+v", resp)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("fn saw %v, want 1..8 exactly once", seen)
+	}
+	for i, seq := range seen {
+		if seq != i+1 {
+			t.Fatalf("duplicate or gap in %v", seen)
+		}
+	}
+	if submits.Load() != 2 {
+		t.Fatalf("submits %d, want 2 (resubmit resumes)", submits.Load())
+	}
+}
+
+// TestCosimStreamRetriesParkedJob covers the drain-side terminal: the
+// job's done event reports state canceled (checkpointed, not failed),
+// which the client treats as resumable.
+func TestCosimStreamRetriesParkedJob(t *testing.T) {
+	var streams atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id": "j000001-abc", "kind": "cosimstream", "state": "running",
+			})
+		case r.Method == http.MethodGet:
+			w.Header().Set("Content-Type", "text/event-stream")
+			if streams.Add(1) == 1 {
+				sseIntervals(w, 1, 2)
+				sseDone(w, "canceled", nil)
+				return
+			}
+			sseIntervals(w, 3, 4)
+			sseDone(w, "done", api.CosimStreamResponse{Intervals: 4})
+		}
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	var seen []int
+	resp, err := c.CosimStream(context.Background(), &api.CosimStreamRequest{}, func(iv api.CosimStreamInterval) error {
+		seen = append(seen, iv.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Intervals != 4 || len(seen) != 4 {
+		t.Fatalf("resp %+v seen %v", resp, seen)
+	}
+}
+
+func TestCosimStreamGivesUpOnFailedJob(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id": "j000001-abc", "kind": "cosimstream", "state": "running",
+			})
+		case r.Method == http.MethodGet:
+			w.Header().Set("Content-Type", "text/event-stream")
+			sseDone(w, "failed", nil)
+		}
+	}))
+	defer ts.Close()
+
+	c := newClient(t, ts)
+	if _, err := c.CosimStream(context.Background(), &api.CosimStreamRequest{}, nil); err == nil {
+		t.Fatal("failed job did not surface an error")
+	}
+}
